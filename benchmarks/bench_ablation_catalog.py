@@ -1,0 +1,35 @@
+"""Ablation — U-catalog resolution versus filtering power.
+
+The paper's DESIGN decision: catalog lookups are conservative, so a coarse
+catalog never breaks correctness, it only retrieves more candidates.  The
+sweep quantifies how quickly the overhead vanishes with resolution.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_trials, report
+
+from repro.bench.experiments import run_ablation_catalog_resolution
+
+
+def test_ablation_catalog_resolution(benchmark):
+    trials = bench_trials()
+    table = benchmark.pedantic(
+        run_ablation_catalog_resolution,
+        kwargs={"resolutions": (3, 9, 33, 99), "n_trials": trials},
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_catalog", table.render())
+
+    candidates = [row[1] for row in table.rows]
+    radii = [row[2] for row in table.rows]
+    exact_candidates, exact_radius = candidates[0], radii[0]
+    # Every catalog is conservative: radius and candidate count >= exact.
+    for r, c in zip(radii[1:], candidates[1:]):
+        assert r >= exact_radius - 1e-12
+        assert c >= exact_candidates - 1e-9
+    # Finer catalogs approach the exact radius (grids are not nested, so
+    # strict monotonicity across resolutions is not guaranteed).
+    assert radii[1] == max(radii[1:])
+    assert radii[-1] <= exact_radius * 1.05

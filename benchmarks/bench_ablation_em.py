@@ -1,0 +1,31 @@
+"""Ablation — the EM (ellipsoid-Minkowski) filter extension.
+
+EM applies the paper's Fig. 3 pruning argument to the θ-region itself
+rather than to its bounding box, yielding the geometrically tightest
+region-based filter; combined with BF's acceptance hole it dominates the
+paper's ALL configuration at every γ.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_trials, report
+
+from repro.bench.experiments import run_ablation_em_strategy
+
+
+def test_ablation_em_strategy(benchmark):
+    table = benchmark.pedantic(
+        run_ablation_em_strategy,
+        kwargs={"n_trials": bench_trials()},
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_em", table.render())
+
+    columns = table.columns
+    for row in table.rows:
+        values = dict(zip(columns, row))
+        # EM alone dominates RR+OR (its region is their intersection's
+        # subset); EM+BF dominates ALL.
+        assert values["EM"] <= values["RR+OR"] + 1e-9
+        assert values["EM+BF"] <= values["ALL"] + 1e-9

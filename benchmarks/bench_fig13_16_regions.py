@@ -1,0 +1,45 @@
+"""Figures 13–16 — the integration regions of RR, OR, BF and ALL.
+
+Paper labels: Fig. 13 (γ=10) RR box half-widths 23.4 / 15.3 with δ=25;
+Fig. 15 (γ=1) 7.4 / 4.8; Fig. 16 (γ=100) 74.1 / 48.5.  The BF radii the
+paper draws (46.9 / 15.6 at γ=10) came from its coarse Monte Carlo
+U-catalog; our exact noncentral-χ² values are 49.5 / 30.8 (verified
+against direct numerical integration in the test suite) — see
+EXPERIMENTS.md for the discussion.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.bench.experiments import region_geometry, run_region_tables
+
+
+def test_fig13_16_regions(benchmark):
+    table = benchmark.pedantic(run_region_tables, rounds=1, iterations=1)
+    report("fig13_16_regions", table.render())
+
+    # Regenerate the figures themselves as SVG next to the tables.
+    from conftest import RESULTS_DIR
+    from repro.viz import render_regions_figure
+
+    for gamma, figure in ((10.0, "fig13_14"), (1.0, "fig15"), (100.0, "fig16")):
+        render_regions_figure(gamma).save(RESULTS_DIR / f"{figure}_regions.svg")
+
+    g10 = region_geometry(10.0)
+    # Fig. 13's RR labels reproduce exactly.
+    assert g10["rr_half_width_x"] == pytest.approx(23.4, abs=0.1)
+    assert g10["rr_half_width_y"] == pytest.approx(15.3, abs=0.1)
+    # Fig. 14: the ALL region is the intersection — smallest of the four.
+    assert g10["all_area"] < min(g10["rr_area"], g10["or_area"], g10["bf_area"])
+    # Figs. 15/16 shape: combination gain grows with gamma.
+    gain = {
+        gamma: min(
+            region_geometry(gamma)["rr_area"],
+            region_geometry(gamma)["bf_area"],
+        )
+        / region_geometry(gamma)["all_area"]
+        for gamma in (1.0, 100.0)
+    }
+    assert gain[100.0] > gain[1.0]

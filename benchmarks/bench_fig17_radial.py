@@ -1,0 +1,35 @@
+"""Figure 17 — probability of existence within a radius, per dimension.
+
+The paper plots the normalized Gaussian's radial mass for d ∈ {2, 3, 5,
+9, 15} over radii 0..6 and reads off two anchors: 39 % at radius 1 in
+2-D, 9 % at radius 2 in 9-D.  Both reproduce to three decimals here
+because the curve family is the χ_d CDF in closed form.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.bench.experiments import run_fig17
+
+
+def test_fig17_radial_curves(benchmark):
+    table, curves = benchmark.pedantic(run_fig17, rounds=1, iterations=1)
+    report("fig17_radial", table.render())
+
+    from conftest import RESULTS_DIR
+    from repro.viz import render_radial_figure
+
+    render_radial_figure().save(RESULTS_DIR / "fig17_radial.svg")
+
+    radii = [row[0] for row in table.rows]
+    idx1 = radii.index(pytest.approx(1.0))
+    # Paper anchors.
+    assert curves[2][idx1] == pytest.approx(0.393, abs=0.001)
+    idx2 = radii.index(pytest.approx(2.0))
+    assert curves[9][idx2] == pytest.approx(0.09, abs=0.005)
+    # Curse of dimensionality: curves strictly ordered at every radius > 0.
+    for i in range(1, len(radii)):
+        values = [curves[d][i] for d in (2, 3, 5, 9, 15)]
+        assert all(a >= b for a, b in zip(values, values[1:]))

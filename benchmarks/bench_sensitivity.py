@@ -1,0 +1,77 @@
+"""§V-B-3 — sensitivity of candidate counts to δ, θ and the covariance shape.
+
+The paper reports these sweeps as prose; this benchmark regenerates the
+underlying numbers and asserts each claim:
+
+1. δ: the trend is unchanged, combinations help relatively more for small
+   δ (for large δ the RR and BF regions nearly coincide);
+2. θ: moving θ from 0.1 to 0.01 barely changes the cost (Gaussian tails);
+3. Σ shape: near-unit covariances equalize the strategies; thin ellipses
+   make the combination pay.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_trials, report
+
+from repro.bench.experiments import (
+    run_sensitivity_delta,
+    run_sensitivity_shape,
+    run_sensitivity_theta,
+)
+
+
+def _column(table, name):
+    idx = table.columns.index(name)
+    return [row[idx] for row in table.rows]
+
+
+def test_sensitivity_delta(benchmark):
+    trials = bench_trials()
+    table = benchmark.pedantic(
+        run_sensitivity_delta, kwargs={"n_trials": trials}, rounds=1, iterations=1
+    )
+    report("sensitivity_delta", table.render())
+    rr, bf, all_ = _column(table, "RR"), _column(table, "BF"), _column(table, "ALL")
+    # Candidates grow with delta for every strategy.
+    assert rr == sorted(rr) and all_ == sorted(all_)
+    # ALL dominates both components at every delta.
+    for r, b, a in zip(rr, bf, all_):
+        assert a <= min(r, b)
+    # Deviation from the paper's prose, documented in EXPERIMENTS.md: with
+    # *exact* alpha radii (the paper used coarse MC tables), BF retains its
+    # inner acceptance hole at large delta, so BF pulls AHEAD of RR there
+    # instead of converging to it.
+    assert bf[-1] < rr[-1]
+
+
+def test_sensitivity_theta(benchmark):
+    trials = bench_trials()
+    table = benchmark.pedantic(
+        run_sensitivity_theta, kwargs={"n_trials": trials}, rounds=1, iterations=1
+    )
+    report("sensitivity_theta", table.render())
+    thetas = _column(table, "theta")
+    all_ = _column(table, "ALL")
+    i_001, i_01 = thetas.index(0.01), thetas.index(0.1)
+    # Paper: theta=0.01 vs theta=0.1 changes the cost only marginally.
+    assert all_[i_001] <= 1.6 * max(all_[i_01], 1.0)
+
+
+def test_sensitivity_shape(benchmark):
+    trials = bench_trials()
+    table = benchmark.pedantic(
+        run_sensitivity_shape, kwargs={"n_trials": trials}, rounds=1, iterations=1
+    )
+    report("sensitivity_shape", table.render())
+    ratios = _column(table, "ratio")
+    rr, bf, all_ = _column(table, "RR"), _column(table, "BF"), _column(table, "ALL")
+    assert ratios[0] == 1.0
+    # Exactly spherical + exact alpha radii: BF decides everything without
+    # integration (Section VI's lambda_par == lambda_perp remark).
+    assert bf[0] == 0 and all_[0] == 0
+    # As the ellipse thins (equal area), every strategy needs more
+    # integrations and RR stays the loosest filter.
+    assert all_[1:] == sorted(all_[1:])
+    for r, a in zip(rr[1:], all_[1:]):
+        assert a < r

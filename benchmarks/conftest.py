@@ -1,0 +1,49 @@
+"""Benchmark-suite plumbing.
+
+Benchmarks call :func:`report` with the rendered experiment tables; the
+tables are written to ``benchmarks/results/<name>.txt`` immediately and
+echoed into the terminal summary at the end of the run (so they survive
+pytest's output capture and land in ``bench_output.txt``).
+
+Environment knobs:
+
+- ``REPRO_BENCH_TRIALS`` — query trials per experiment (default 3; the
+  paper uses 5 for the 2-D tables and 10 for Table III);
+- ``REPRO_BENCH_SAMPLES`` — importance-sampling budget per candidate for
+  the *timed* experiments (default 20,000; the paper uses 100,000 —
+  candidate counts are identical either way).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_collected: list[str] = []
+
+
+def bench_trials(default: int = 3) -> int:
+    return int(os.environ.get("REPRO_BENCH_TRIALS", default))
+
+
+def bench_samples(default: int = 20_000) -> int:
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", default))
+
+
+def report(name: str, text: str) -> None:
+    """Record one experiment's rendered output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _collected.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected:
+        return
+    terminalreporter.section("reproduction tables")
+    for text in _collected:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

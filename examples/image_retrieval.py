@@ -1,0 +1,60 @@
+"""Example-based multimedia retrieval (the paper's Section VI scenario).
+
+A user marks one image as interesting; the system treats its 20 nearest
+neighbours as pseudo-feedback, fits the covariance Σ = Σ̃ + κI (Eq. 35)
+to them, and retrieves every image whose distance to the *uncertain*
+interest point is within δ = 0.7 with probability >= 40 %.
+
+The example also reports the candidate counts per strategy combination —
+a miniature Table III — showing how much each filter saves in 9-D.
+
+Run:  python examples/image_retrieval.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ImportanceSamplingIntegrator, ProbabilisticRangeQuery, SpatialDatabase
+from repro.bench.experiments import SPEC_ORDER, pseudo_feedback_gaussian
+from repro.datasets import color_moments_like
+
+
+def main() -> None:
+    print("generating the Corel-like 9-D feature set (calibrated) ...")
+    features = color_moments_like(20_000, seed=1)
+    db = SpatialDatabase(features)
+
+    query_image = 4242
+    gaussian = pseudo_feedback_gaussian(features, db, query_image, k=20)
+    print(f"query image #{query_image}; fitted interest Gaussian:")
+    print(f"  eigenvalue spread {gaussian.eigenvalues[0]:.4f} .. "
+          f"{gaussian.eigenvalues[-1]:.4f} "
+          f"(condition number {gaussian.condition_number:.1f})")
+
+    query = ProbabilisticRangeQuery(gaussian, delta=0.7, theta=0.4)
+
+    print(f"\n{'strategies':>10} {'retrieved':>9} {'integrated':>10} "
+          f"{'answers':>7}")
+    final_ids: tuple[int, ...] = ()
+    for spec in SPEC_ORDER:
+        # A fresh integrator per combination, same seed: identical Monte
+        # Carlo decisions, so any answer differences would be real.
+        integrator = ImportanceSamplingIntegrator(
+            100_000, seed=0, share_samples=True
+        )
+        engine = db.engine(strategies=spec, integrator=integrator)
+        result = engine.execute(query)
+        print(
+            f"{spec:>10} {result.stats.retrieved:>9} "
+            f"{result.stats.integrations:>10} {len(result):>7}"
+        )
+        final_ids = result.ids
+
+    print(f"\nretrieved images: {final_ids}")
+    print("every combination returns the same answer; they differ only in "
+          "how many candidates reach Monte Carlo integration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Moving-object monitoring with stale position reports.
+
+The paper's Section I: a tracking server lowers update frequency to save
+power and bandwidth, so between reports each object's position is known
+only as a Gaussian whose spread grows with the report's age.  Vehicle 0
+repeatedly asks "who is within 12 units of me with probability >= 30 %?"
+as its own report ages, and a MonitoringSession amortizes the index work
+across the epochs.
+
+Run:  python examples/moving_objects.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExactIntegrator, MonitoringSession, MovingObject, MovingObjectDatabase
+from repro.core.moving import stale_gaussian
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    fleet = MovingObjectDatabase(
+        [
+            MovingObject(i, rng.random(2) * 100.0, rng.standard_normal(2) * 1.5)
+            for i in range(150)
+        ]
+    )
+
+    print("vehicle 0 querying its neighbourhood as its report ages:\n")
+    print(f"{'t':>4} {'age':>4} {'det(Sigma)':>10} {'neighbours':>10}")
+    report_time = 0.0
+    for t in np.arange(0.0, 10.5, 1.0):
+        result = fleet.query_from_object(
+            0,
+            t=float(t),
+            last_report_time=report_time,
+            delta=12.0,
+            theta=0.3,
+            diffusion=2.0,
+            integrator=ExactIntegrator(),
+        )
+        querier = fleet.object(0)
+        belief = stale_gaussian(
+            querier.position_at(report_time), querier.velocity,
+            float(t) - report_time, diffusion=2.0,
+        )
+        print(f"{t:>4.0f} {t - report_time:>4.0f} {belief.det_sigma:>10.2f} "
+              f"{len(result):>10}")
+
+    print(
+        "\nuncertainty (det Sigma) grows quadratically with staleness; with\n"
+        "theta=0.3 the neighbour set first swells (mass reaches farther\n"
+        "vehicles) and then thins (mass spreads too thin for anyone).\n"
+    )
+
+    # Amortized monitoring of one snapshot with a drifting query belief.
+    snapshot = fleet.snapshot_at(5.0)
+    session = MonitoringSession(
+        snapshot, strategies="all", integrator=ExactIntegrator(), margin=1.0
+    )
+    querier = fleet.object(0)
+    base = querier.position_at(5.0)
+    for step in range(6):
+        belief = stale_gaussian(
+            base + querier.velocity * step * 0.2, querier.velocity, 1.0,
+            diffusion=2.0,
+        )
+        session.query(belief, 12.0, 0.3)
+    print(
+        f"monitoring session: {session.cache_hits} of "
+        f"{session.cache_hits + session.cache_misses} epochs served from the "
+        "candidate cache (zero index accesses)."
+    )
+
+
+if __name__ == "__main__":
+    main()

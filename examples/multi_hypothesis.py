@@ -1,0 +1,58 @@
+"""Multi-hypothesis localization: a Gaussian-*mixture* query object.
+
+A delivery robot lost track of which of two aisles it is in — its belief
+is bimodal.  The paper's model (one Gaussian) cannot express this, but the
+range predicate generalizes linearly over mixture components, and the
+paper's filters still apply per component (any answer must qualify the
+single-component query of some mode).  See ``repro.core.mixture``.
+
+Run:  python examples/multi_hypothesis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Gaussian, GaussianMixture, SpatialDatabase
+from repro.core.mixture import MixtureQueryEngine
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    # Shelf locations along two aisles plus scattered obstacles.
+    aisle_a = np.column_stack([np.linspace(0, 100, 60), np.full(60, 10.0)])
+    aisle_b = np.column_stack([np.linspace(0, 100, 60), np.full(60, 30.0)])
+    obstacles = rng.uniform(0, 100, size=(80, 2))
+    objects = np.vstack([aisle_a, aisle_b, obstacles])
+    db = SpatialDatabase(objects)
+
+    # The robot is at x ~ 40 but unsure which aisle: two modes, the first
+    # slightly more credible.
+    belief = GaussianMixture(
+        [
+            Gaussian([40.0, 10.0], np.diag([9.0, 1.0])),
+            Gaussian([40.0, 30.0], np.diag([9.0, 1.0])),
+        ],
+        weights=[0.65, 0.35],
+    )
+
+    engine = MixtureQueryEngine(db)
+    print(f"{'theta':>6} {'candidates':>10} {'answers':>8}  breakdown")
+    for theta in (0.05, 0.2, 0.4, 0.6):
+        ids, stats = engine.execute(belief, delta=8.0, theta=theta)
+        answers = objects[np.asarray(ids)] if ids else np.empty((0, 2))
+        in_a = int(np.sum(np.abs(answers[:, 1] - 10.0) < 5)) if len(ids) else 0
+        in_b = int(np.sum(np.abs(answers[:, 1] - 30.0) < 5)) if len(ids) else 0
+        print(f"{theta:>6} {stats.retrieved:>10} {len(ids):>8}  "
+              f"aisle A: {in_a}, aisle B: {in_b}")
+
+    print(
+        "\nat low theta both aisles' shelves qualify (either mode could be\n"
+        "true); raising theta above the minor mode's weight (0.35) silences\n"
+        "aisle B entirely — only objects reachable from the dominant mode\n"
+        "can accumulate enough mixture probability."
+    )
+
+
+if __name__ == "__main__":
+    main()

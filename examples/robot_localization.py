@@ -1,0 +1,75 @@
+"""The paper's motivating scenario (Example 1): a moving robot asks
+"which landmarks are within 10 m of me?" while its own position estimate
+is a Gaussian maintained by a Kalman filter.
+
+The robot drives a square loop through a field of landmarks.  Between
+position fixes its uncertainty ellipse grows (dead reckoning); each fix
+shrinks it.  At every epoch we issue PRQ(belief, delta=10, theta=0.3) and
+print how the answer and the filtering effort react to the changing
+covariance — exactly the dynamics of the paper's Fig. 1.
+
+Run:  python examples/robot_localization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExactIntegrator, SpatialDatabase
+from repro.robotics import RobotSimulator
+
+
+def square_loop(steps_per_side: int) -> list[np.ndarray]:
+    """Velocity commands tracing a square, 1 m per step."""
+    legs = [
+        np.array([1.0, 0.0]),
+        np.array([0.0, 1.0]),
+        np.array([-1.0, 0.0]),
+        np.array([0.0, -1.0]),
+    ]
+    return [leg for leg in legs for _ in range(steps_per_side)] * 1
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    # Landmarks scattered over the field the robot drives through.
+    landmarks = rng.uniform(-20.0, 60.0, size=(600, 2))
+    db = SpatialDatabase(landmarks)
+
+    robot = RobotSimulator(
+        start=(0.0, 0.0),
+        odometry_noise=0.6,
+        fix_noise=2.0,
+        fix_interval=15,
+        seed=3,
+    )
+    engine = db.engine(strategies="all", integrator=ExactIntegrator())
+
+    print(f"{'step':>4} {'fix':>3} {'det(Sigma)':>11} {'answers':>7} "
+          f"{'integrated':>10} {'est.err':>8}")
+    for estimate in robot.run(square_loop(10)):
+        if estimate.step % 5 and not estimate.had_fix:
+            continue  # print every 5th step plus every fix
+        from repro import ProbabilisticRangeQuery
+
+        result = engine.execute(
+            ProbabilisticRangeQuery(estimate.belief, delta=10.0, theta=0.3)
+        )
+        print(
+            f"{estimate.step:>4} {'*' if estimate.had_fix else '':>3} "
+            f"{estimate.belief.det_sigma:>11.2f} {len(result):>7} "
+            f"{result.stats.integrations:>10} {estimate.error:>8.2f}"
+        )
+
+    print(
+        "\n'*' marks position fixes. Watch det(Sigma) fall at each fix and\n"
+        "the answer set swell as the position gets vaguer (the paper's\n"
+        "gamma sweep, live). The 'integrated' column stays at zero: the\n"
+        "Kalman belief here is nearly spherical, which is exactly the\n"
+        "special case of Section VI where the BF bounds coincide and every\n"
+        "candidate is decided without numerical integration."
+    )
+
+
+if __name__ == "__main__":
+    main()

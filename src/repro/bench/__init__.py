@@ -1,0 +1,27 @@
+"""Benchmark harness: one experiment runner per paper table/figure.
+
+:mod:`repro.bench.harness` owns dataset caching, query-trial execution and
+plain-text table rendering; :mod:`repro.bench.experiments` encodes the
+parameters of every experiment in the paper's evaluation (Tables I–III,
+Figures 13–17, the §V-B-3 sensitivity sweeps) plus this library's own
+ablations.  The scripts in ``benchmarks/`` are thin wrappers that call
+these runners and print the rows the paper reports.
+"""
+
+from repro.bench.harness import (
+    ExperimentTable,
+    format_table,
+    load_corel_points,
+    load_road_database,
+    paper_sigma,
+)
+from repro.bench import experiments
+
+__all__ = [
+    "ExperimentTable",
+    "format_table",
+    "load_road_database",
+    "load_corel_points",
+    "paper_sigma",
+    "experiments",
+]

@@ -1,0 +1,124 @@
+"""Shared infrastructure for the benchmark scripts.
+
+Datasets are generated once per process and cached; query trials pick
+random target objects as query centres exactly as the paper does ("we
+selected one target object randomly as the query center"); tables render
+as aligned plain text so bench output can be diffed against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.database import SpatialDatabase
+from repro.datasets.corel import color_moments_like
+from repro.datasets.roadnet import long_beach_like
+
+__all__ = [
+    "paper_sigma",
+    "load_road_database",
+    "load_corel_points",
+    "random_query_centers",
+    "ExperimentTable",
+    "format_table",
+]
+
+
+def paper_sigma(gamma: float) -> np.ndarray:
+    """The paper's 2-D covariance (Eq. 34): γ·[[7, 2√3], [2√3, 3]].
+
+    Its isosurface is an ellipse tilted 30° with a 3:1 axis ratio.
+    """
+    root3 = math.sqrt(3.0)
+    return float(gamma) * np.array([[7.0, 2.0 * root3], [2.0 * root3, 3.0]])
+
+
+@functools.lru_cache(maxsize=2)
+def load_road_database(seed: int = 0) -> SpatialDatabase:
+    """The Long-Beach-like 2-D database (50,747 points, STR-loaded R*-tree)."""
+    network = long_beach_like(seed=seed)
+    return SpatialDatabase(network.midpoints)
+
+
+@functools.lru_cache(maxsize=2)
+def load_corel_points(seed: int = 0) -> np.ndarray:
+    """The calibrated Corel-like 9-D vectors (68,040 rows)."""
+    return color_moments_like(seed=seed)
+
+
+def random_query_centers(
+    database: SpatialDatabase, n_trials: int, seed: int
+) -> np.ndarray:
+    """Random data points used as query centres (the paper's protocol)."""
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(len(database), size=n_trials, replace=False)
+    return np.vstack([database.point(int(i)) for i in ids])
+
+
+# ----------------------------------------------------------------------
+# Table rendering
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentTable:
+    """A small column-oriented result table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an aligned plain-text table with a title rule."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    lines = [title, "=" * len(title)]
+    header = "  ".join(str(col).rjust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"# {note}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""One-call regeneration of the full experimental record.
+
+:func:`run_full_report` executes every paper experiment and every ablation
+at a configurable scale and returns one plain-text document mirroring the
+structure of EXPERIMENTS.md.  ``python -m repro experiment all`` exposes it
+from the command line.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.bench import experiments
+
+__all__ = ["run_full_report", "write_full_report"]
+
+
+def run_full_report(
+    *,
+    n_trials: int = 3,
+    n_samples: int = 20_000,
+    include_9d: bool = True,
+) -> str:
+    """Run everything and return the report text.
+
+    ``include_9d=False`` skips Table III (the slowest section: it
+    generates the 68k-row 9-D dataset).
+    """
+    started = time.time()
+    blocks: list[str] = [
+        f"repro {__version__} — full experimental report",
+        f"configuration: {n_trials} trials, {n_samples} IS samples/candidate",
+        "",
+    ]
+
+    grid = experiments.run_strategy_grid(n_trials=n_trials, n_samples=n_samples)
+    blocks += [grid.table_time().render(), "", grid.table_candidates().render(), ""]
+    blocks += [experiments.run_region_tables().render(), ""]
+    fig17_table, _ = experiments.run_fig17()
+    blocks += [fig17_table.render(), ""]
+    blocks += [experiments.run_sensitivity_delta(n_trials=n_trials).render(), ""]
+    blocks += [experiments.run_sensitivity_theta(n_trials=n_trials).render(), ""]
+    blocks += [experiments.run_sensitivity_shape(n_trials=n_trials).render(), ""]
+    if include_9d:
+        blocks += [experiments.run_table3(n_trials=n_trials).render(), ""]
+    blocks += [experiments.run_ablation_integrators().render(), ""]
+    blocks += [
+        experiments.run_ablation_catalog_resolution(n_trials=n_trials).render(),
+        "",
+    ]
+    blocks += [
+        experiments.run_ablation_sequential(
+            n_trials=n_trials, max_samples=max(n_samples, 20_000)
+        ).render(),
+        "",
+    ]
+    blocks += [
+        experiments.run_ablation_lookup_fidelity(n_trials=n_trials).render(),
+        "",
+    ]
+    blocks += [experiments.run_ablation_em_strategy(n_trials=n_trials).render(), ""]
+    blocks += [experiments.run_3d_fringe_extension(n_trials=n_trials).render(), ""]
+    blocks.append(f"total wall time: {time.time() - started:.1f} s")
+    return "\n".join(blocks)
+
+
+def write_full_report(path: str | Path, **kwargs) -> Path:
+    """Run the report and write it to ``path``."""
+    target = Path(path)
+    target.write_text(run_full_report(**kwargs) + "\n")
+    return target

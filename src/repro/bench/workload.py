@@ -1,0 +1,154 @@
+"""Mixed-workload throughput measurement.
+
+The paper evaluates one query configuration at a time; a deployed system
+sees a *mix* — different uncertainties, ranges and thresholds arriving
+together.  :class:`WorkloadGenerator` draws query specs from configurable
+distributions and :func:`run_workload` executes them through one engine,
+reporting latency percentiles and the per-phase breakdown — the numbers a
+capacity planner actually needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable, paper_sigma
+from repro.core.database import SpatialDatabase
+from repro.core.query import ProbabilisticRangeQuery
+from repro.errors import ReproError
+from repro.gaussian.distribution import Gaussian
+from repro.integrate.base import ProbabilityIntegrator
+from repro.integrate.sequential import SequentialImportanceSampler
+
+__all__ = ["WorkloadGenerator", "WorkloadReport", "run_workload"]
+
+
+class WorkloadGenerator:
+    """Draws random PRQ specs against a database.
+
+    Parameters
+    ----------
+    database:
+        Query centres are sampled from the stored objects (the paper's
+        protocol).
+    gamma_choices, delta_range, theta_range:
+        Distributions of the query parameters: γ uniform over the given
+        choices, δ log-uniform over its range, θ log-uniform over its
+        range.
+    seed:
+        Generator seed.
+    """
+
+    def __init__(
+        self,
+        database: SpatialDatabase,
+        *,
+        gamma_choices=(1.0, 10.0, 100.0),
+        delta_range=(10.0, 50.0),
+        theta_range=(0.005, 0.3),
+        seed: int = 0,
+    ):
+        if database.dim != 2:
+            raise ReproError(
+                "WorkloadGenerator uses the paper's 2-D covariance family; "
+                f"got a {database.dim}-D database"
+            )
+        if not delta_range[0] < delta_range[1] or delta_range[0] <= 0:
+            raise ReproError(f"bad delta_range {delta_range}")
+        if not 0 < theta_range[0] < theta_range[1] < 1:
+            raise ReproError(f"bad theta_range {theta_range}")
+        self._database = database
+        self._gammas = tuple(gamma_choices)
+        self._delta_range = delta_range
+        self._theta_range = theta_range
+        self._rng = np.random.default_rng(seed)
+
+    def next_query(self) -> ProbabilisticRangeQuery:
+        center = self._database.point(
+            int(self._rng.integers(len(self._database)))
+        )
+        gamma = float(self._rng.choice(self._gammas))
+        delta = float(
+            np.exp(self._rng.uniform(*np.log(self._delta_range)))
+        )
+        theta = float(
+            np.exp(self._rng.uniform(*np.log(self._theta_range)))
+        )
+        return ProbabilisticRangeQuery(
+            Gaussian(center, paper_sigma(gamma)), delta, theta
+        )
+
+    def batch(self, count: int) -> list[ProbabilisticRangeQuery]:
+        if count < 1:
+            raise ReproError(f"count must be >= 1, got {count}")
+        return [self.next_query() for _ in range(count)]
+
+
+@dataclass
+class WorkloadReport:
+    """Latency and workload aggregates over a batch of queries."""
+
+    latencies: list[float] = field(default_factory=list)
+    integrations: list[int] = field(default_factory=list)
+    answers: list[int] = field(default_factory=list)
+    phase_totals: dict[str, float] = field(default_factory=dict)
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            raise ReproError("empty report")
+        return float(np.percentile(self.latencies, q))
+
+    @property
+    def queries_per_second(self) -> float:
+        total = sum(self.latencies)
+        return len(self.latencies) / total if total > 0 else float("inf")
+
+    def table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            f"Workload — {len(self.latencies)} mixed queries",
+            ["metric", "value"],
+        )
+        table.add_row("p50 latency (ms)", self.percentile(50) * 1e3)
+        table.add_row("p95 latency (ms)", self.percentile(95) * 1e3)
+        table.add_row("p99 latency (ms)", self.percentile(99) * 1e3)
+        table.add_row("throughput (qps)", self.queries_per_second)
+        table.add_row("mean integrations", float(np.mean(self.integrations)))
+        table.add_row("mean answers", float(np.mean(self.answers)))
+        total_phase = sum(self.phase_totals.values())
+        for phase, seconds in sorted(self.phase_totals.items()):
+            share = 100.0 * seconds / total_phase if total_phase else 0.0
+            table.add_row(f"phase {phase} share (%)", share)
+        return table
+
+
+def run_workload(
+    database: SpatialDatabase,
+    queries,
+    *,
+    strategies: str = "all",
+    integrator: ProbabilityIntegrator | None = None,
+) -> WorkloadReport:
+    """Execute a query batch through one engine and aggregate statistics.
+
+    The default Phase-3 evaluator is the adaptive sequential sampler with
+    per-query θ — each query gets an integrator tuned to its own
+    threshold.
+    """
+    report = WorkloadReport()
+    for query in queries:
+        engine = database.engine(
+            strategies=strategies,
+            integrator=integrator
+            or SequentialImportanceSampler(query.theta, max_samples=50_000),
+        )
+        result = engine.execute(query)
+        report.latencies.append(result.stats.total_seconds)
+        report.integrations.append(result.stats.integrations)
+        report.answers.append(len(result))
+        for phase, seconds in result.stats.phase_seconds.items():
+            report.phase_totals[phase] = (
+                report.phase_totals.get(phase, 0.0) + seconds
+            )
+    return report

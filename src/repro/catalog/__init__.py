@@ -1,0 +1,34 @@
+"""U-catalogs: precomputed tables mapping thresholds to radii.
+
+The paper cannot invert the Gaussian's radial mass function analytically at
+query time, so it precomputes tables ("U-catalogs", after Tao et al.):
+
+- the **r_θ catalog** maps probability thresholds θ to θ-region radii r_θ
+  (Definition 5) for one dimensionality;
+- the **BF catalog** maps (δ, θ) pairs to the centre offset α at which a
+  δ-sphere holds mass θ under the normalized Gaussian (Eq. 21).
+
+Both lookups are *conservative*: when the exact entry is missing, the
+returned radius errs toward retrieving / integrating more candidates, never
+toward losing answers (Algorithm 1 line 4; Eqs. 32–33).
+
+Each catalog has two builders: an analytic one using the closed forms of
+:mod:`repro.gaussian.radial` and a Monte Carlo one faithful to how the
+paper tabulates the integrals.  Catalogs serialize to JSON via
+:mod:`repro.catalog.io`.
+"""
+
+from repro.catalog.rtheta import RThetaCatalog, RThetaLookup, ExactRThetaLookup
+from repro.catalog.bf import BFCatalog, BFLookup, ExactBFLookup
+from repro.catalog.io import load_catalog, save_catalog
+
+__all__ = [
+    "RThetaCatalog",
+    "RThetaLookup",
+    "ExactRThetaLookup",
+    "BFCatalog",
+    "BFLookup",
+    "ExactBFLookup",
+    "load_catalog",
+    "save_catalog",
+]

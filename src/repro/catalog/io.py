@@ -1,0 +1,73 @@
+"""JSON persistence for U-catalogs.
+
+Catalogs are pure lookup tables, so a versioned JSON document with parallel
+arrays is enough.  ``save_catalog``/``load_catalog`` round-trip both
+catalog kinds and refuse files they do not recognise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import CatalogError
+from repro.catalog.bf import BFCatalog
+from repro.catalog.rtheta import RThetaCatalog
+
+__all__ = ["save_catalog", "load_catalog"]
+
+_FORMAT_VERSION = 1
+
+
+def save_catalog(catalog: RThetaCatalog | BFCatalog, path: str | Path) -> None:
+    """Write a catalog to ``path`` as JSON."""
+    if isinstance(catalog, RThetaCatalog):
+        document = {
+            "format": _FORMAT_VERSION,
+            "kind": "rtheta",
+            "dim": catalog.dim,
+            "thetas": catalog.thetas.tolist(),
+            "radii": catalog.radii.tolist(),
+        }
+    elif isinstance(catalog, BFCatalog):
+        document = {
+            "format": _FORMAT_VERSION,
+            "kind": "bf",
+            "dim": catalog.dim,
+            "deltas": catalog.deltas.tolist(),
+            "thetas": catalog.thetas.tolist(),
+            "alphas": catalog.alphas.tolist(),
+        }
+    else:
+        raise CatalogError(f"cannot serialize {type(catalog).__name__}")
+    Path(path).write_text(json.dumps(document, indent=1))
+
+
+def load_catalog(path: str | Path) -> RThetaCatalog | BFCatalog:
+    """Read a catalog previously written by :func:`save_catalog`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CatalogError(f"cannot read catalog from {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise CatalogError(f"{path} does not contain a catalog document")
+    if document.get("format") != _FORMAT_VERSION:
+        raise CatalogError(
+            f"unsupported catalog format {document.get('format')!r} in {path}"
+        )
+    kind = document.get("kind")
+    try:
+        if kind == "rtheta":
+            return RThetaCatalog(
+                document["dim"], document["thetas"], document["radii"]
+            )
+        if kind == "bf":
+            return BFCatalog(
+                document["dim"],
+                document["deltas"],
+                document["thetas"],
+                document["alphas"],
+            )
+    except KeyError as exc:
+        raise CatalogError(f"catalog in {path} is missing field {exc}") from exc
+    raise CatalogError(f"unknown catalog kind {kind!r} in {path}")

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``demo``
+    Generate a small dataset, run one probabilistic range query with every
+    strategy combination, and print the comparison.
+``query``
+    Run one PRQ against a saved database (``.npz`` from
+    :meth:`SpatialDatabase.save`) or a freshly generated dataset.
+``catalog``
+    Build an r_θ or BF U-catalog and write it to JSON.
+``dataset``
+    Generate one of the synthetic datasets and save it as ``.npz``.
+``experiment``
+    Run one of the paper's experiments and print its table (``all`` runs
+    the complete report).
+``figures``
+    Render Figs. 13-17 and the road-network overview as SVG files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Probabilistic spatial range queries for Gaussian-based "
+        "imprecise query objects (ICDE 2009 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run a demonstration query")
+    demo.add_argument("--points", type=int, default=10_000)
+    demo.add_argument("--delta", type=float, default=25.0)
+    demo.add_argument("--theta", type=float, default=0.01)
+    demo.add_argument("--gamma", type=float, default=10.0)
+    demo.add_argument("--seed", type=int, default=0)
+
+    query = commands.add_parser("query", help="query a saved database")
+    query.add_argument("database", help=".npz file from SpatialDatabase.save")
+    query.add_argument("--center", type=float, nargs="+", required=True)
+    query.add_argument("--sigma-scale", type=float, default=1.0,
+                       help="isotropic covariance scale (variance)")
+    query.add_argument("--delta", type=float, required=True)
+    query.add_argument("--theta", type=float, required=True)
+    query.add_argument("--strategies", default="all")
+    query.add_argument("--exact", action="store_true",
+                       help="use the exact integrator instead of sampling")
+
+    catalog = commands.add_parser("catalog", help="build a U-catalog")
+    catalog.add_argument("kind", choices=["rtheta", "bf"])
+    catalog.add_argument("output", help="JSON file to write")
+    catalog.add_argument("--dim", type=int, required=True)
+    catalog.add_argument("--resolution", type=int, default=33)
+    catalog.add_argument("--deltas", type=float, nargs="+", default=None,
+                         help="delta grid for BF catalogs")
+    catalog.add_argument("--monte-carlo", action="store_true",
+                         help="build by sampling (paper-faithful) instead of "
+                         "the closed form")
+    catalog.add_argument("--seed", type=int, default=0)
+
+    dataset = commands.add_parser("dataset", help="generate a dataset")
+    dataset.add_argument("kind", choices=["road", "corel", "uniform"])
+    dataset.add_argument("output", help=".npz file to write")
+    dataset.add_argument("--size", type=int, default=None)
+    dataset.add_argument("--dim", type=int, default=2)
+    dataset.add_argument("--seed", type=int, default=0)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    experiment.add_argument(
+        "name",
+        choices=["table1", "table2", "table3", "regions", "fig17",
+                 "sensitivity-delta", "sensitivity-theta", "sensitivity-shape",
+                 "ablation-em", "ablation-sequential", "extension-3d", "all"],
+    )
+    experiment.add_argument("--trials", type=int, default=3)
+    experiment.add_argument("--samples", type=int, default=20_000)
+    experiment.add_argument("--output", default=None,
+                            help="for 'all': also write the report to a file")
+
+    figures = commands.add_parser(
+        "figures", help="render the paper's figures as SVG"
+    )
+    figures.add_argument("output_dir", help="directory to write SVG files into")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+
+
+def _cmd_demo(args) -> int:
+    from repro import ExactIntegrator, Gaussian, SpatialDatabase
+    from repro.bench.harness import paper_sigma
+    from repro.core.strategies import STRATEGY_COMBINATIONS
+
+    rng = np.random.default_rng(args.seed)
+    points = rng.random((args.points, 2)) * 1000.0
+    db = SpatialDatabase(points)
+    gaussian = Gaussian([500.0, 500.0], paper_sigma(args.gamma))
+    print(f"database: {args.points} uniform points in [0, 1000]^2")
+    print(f"query: delta={args.delta}, theta={args.theta}, gamma={args.gamma}\n")
+    print(f"{'strategies':>10} {'retrieved':>9} {'integrated':>10} "
+          f"{'answers':>7} {'ms':>8}")
+    for spec in STRATEGY_COMBINATIONS:
+        result = db.probabilistic_range_query(
+            gaussian, args.delta, args.theta,
+            strategies=spec, integrator=ExactIntegrator(),
+        )
+        print(f"{spec:>10} {result.stats.retrieved:>9} "
+              f"{result.stats.integrations:>10} {len(result):>7} "
+              f"{result.stats.total_seconds * 1e3:>8.1f}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro import ExactIntegrator, Gaussian, SpatialDatabase
+
+    db = SpatialDatabase.load(args.database)
+    center = np.asarray(args.center, dtype=float)
+    if center.size != db.dim:
+        print(f"error: database is {db.dim}-dimensional, got "
+              f"{center.size} center coordinates", file=sys.stderr)
+        return 2
+    gaussian = Gaussian(center, args.sigma_scale * np.eye(db.dim))
+    integrator = ExactIntegrator() if args.exact else None
+    result = db.probabilistic_range_query(
+        gaussian, args.delta, args.theta,
+        strategies=args.strategies, integrator=integrator,
+    )
+    print(f"{len(result)} objects qualify")
+    print("ids:", " ".join(str(i) for i in result.ids))
+    print("stats:", result.stats.summary())
+    return 0
+
+
+def _cmd_catalog(args) -> int:
+    from repro.catalog import BFCatalog, RThetaCatalog, save_catalog
+
+    if args.kind == "rtheta":
+        thetas = np.linspace(0.0, 0.5, args.resolution + 2)[1:-1]
+        if args.monte_carlo:
+            catalog = RThetaCatalog.build_monte_carlo(
+                args.dim, thetas, seed=args.seed
+            )
+        else:
+            catalog = RThetaCatalog.build_analytic(args.dim, thetas)
+    else:
+        deltas = args.deltas or np.geomspace(0.1, 10.0, args.resolution)
+        thetas = np.geomspace(1e-4, 0.9, args.resolution)
+        if args.monte_carlo:
+            catalog = BFCatalog.build_monte_carlo(
+                args.dim, deltas, thetas, seed=args.seed
+            )
+        else:
+            catalog = BFCatalog.build_analytic(args.dim, deltas, thetas)
+    save_catalog(catalog, args.output)
+    print(f"wrote {args.kind} catalog ({len(catalog)} entries, "
+          f"dim={args.dim}) to {args.output}")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    from repro.datasets import color_moments_like, long_beach_like, uniform_points
+
+    if args.kind == "road":
+        size = args.size or 50_747
+        points = long_beach_like(size, seed=args.seed).midpoints
+    elif args.kind == "corel":
+        size = args.size or 68_040
+        points = color_moments_like(size, seed=args.seed)
+    else:
+        size = args.size or 10_000
+        points = uniform_points(size, args.dim, seed=args.seed)
+    np.savez_compressed(
+        args.output, ids=np.arange(points.shape[0]), points=points
+    )
+    print(f"wrote {points.shape[0]} x {points.shape[1]} {args.kind} points "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.bench import experiments
+
+    if args.name == "all":
+        from repro.bench.report import run_full_report
+
+        report = run_full_report(n_trials=args.trials, n_samples=args.samples)
+        print(report)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(report + "\n")
+            print(f"\nwrote {args.output}")
+        return 0
+    if args.name == "table1":
+        result = experiments.run_strategy_grid(
+            n_trials=args.trials, n_samples=args.samples
+        )
+        print(result.table_time().render())
+    elif args.name == "table2":
+        result = experiments.run_candidate_grid(n_trials=args.trials)
+        print(result.table_candidates().render())
+    elif args.name == "table3":
+        print(experiments.run_table3(n_trials=args.trials).render())
+    elif args.name == "regions":
+        print(experiments.run_region_tables().render())
+    elif args.name == "fig17":
+        table, _ = experiments.run_fig17()
+        print(table.render())
+    elif args.name == "sensitivity-delta":
+        print(experiments.run_sensitivity_delta(n_trials=args.trials).render())
+    elif args.name == "sensitivity-theta":
+        print(experiments.run_sensitivity_theta(n_trials=args.trials).render())
+    elif args.name == "sensitivity-shape":
+        print(experiments.run_sensitivity_shape(n_trials=args.trials).render())
+    elif args.name == "ablation-em":
+        print(experiments.run_ablation_em_strategy(n_trials=args.trials).render())
+    elif args.name == "ablation-sequential":
+        print(experiments.run_ablation_sequential(n_trials=args.trials).render())
+    else:
+        print(experiments.run_3d_fringe_extension(n_trials=args.trials).render())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from pathlib import Path
+
+    from repro.datasets.roadnet import long_beach_like
+    from repro.viz import (
+        render_radial_figure,
+        render_regions_figure,
+        render_road_network,
+    )
+
+    target = Path(args.output_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for gamma, name in ((10.0, "fig13_14"), (1.0, "fig15"), (100.0, "fig16")):
+        written.append(render_regions_figure(gamma).save(target / f"{name}.svg"))
+    written.append(render_radial_figure().save(target / "fig17.svg"))
+    network = long_beach_like(15_000, seed=0)
+    written.append(
+        render_road_network(network.midpoints).save(target / "road_network.svg")
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "query": _cmd_query,
+    "catalog": _cmd_catalog,
+    "dataset": _cmd_dataset,
+    "experiment": _cmd_experiment,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

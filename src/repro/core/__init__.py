@@ -1,0 +1,70 @@
+"""The paper's primary contribution: probabilistic range query processing.
+
+- :class:`ProbabilisticRangeQuery` — the PRQ(q, δ, θ) specification
+  (Definition 2);
+- :mod:`~repro.core.strategies` — the RR, OR and BF filtering strategies
+  (Section IV) behind one `Strategy` interface;
+- :class:`QueryEngine` — the generic three-phase processor (Section III-B)
+  that combines any subset of strategies;
+- :class:`SpatialDatabase` — the user-facing façade tying data, index,
+  catalogs, strategies and integrator together;
+- extensions from the paper's future-work list: probabilistic k-NN
+  (:mod:`~repro.core.nn`), uncertain targets (:mod:`~repro.core.uncertain`)
+  and the closed-form 1-D case (:mod:`~repro.core.oned`).
+"""
+
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.stats import QueryStats
+from repro.core.strategies import (
+    ACCEPT,
+    REJECT,
+    UNKNOWN,
+    BoundingFunctionStrategy,
+    EllipsoidStrategy,
+    ObliqueStrategy,
+    RectilinearStrategy,
+    Strategy,
+    make_strategies,
+)
+from repro.core.engine import QueryEngine, QueryPlan, QueryResult
+from repro.core.mixture import MixtureQueryEngine, mixture_range_query
+from repro.core.database import SpatialDatabase
+from repro.core.monitor import MonitoringSession
+from repro.core.sweep import ThresholdSweepResult, threshold_sweep
+from repro.core.selectivity import SelectivityEstimator
+from repro.core.moving import MovingObject, MovingObjectDatabase, stale_gaussian
+from repro.core.nn import probabilistic_nearest_neighbors
+from repro.core.uncertain import UncertainObject, UncertainDatabase
+from repro.core.oned import OneDimensionalDatabase, interval_probability
+
+__all__ = [
+    "ProbabilisticRangeQuery",
+    "QueryStats",
+    "Strategy",
+    "RectilinearStrategy",
+    "ObliqueStrategy",
+    "BoundingFunctionStrategy",
+    "EllipsoidStrategy",
+    "make_strategies",
+    "ACCEPT",
+    "REJECT",
+    "UNKNOWN",
+    "QueryEngine",
+    "QueryPlan",
+    "MixtureQueryEngine",
+    "mixture_range_query",
+    "QueryResult",
+    "SpatialDatabase",
+    "MonitoringSession",
+    "ThresholdSweepResult",
+    "threshold_sweep",
+    "SelectivityEstimator",
+    "MovingObject",
+    "MovingObjectDatabase",
+    "stale_gaussian",
+    "probabilistic_nearest_neighbors",
+    "UncertainObject",
+    "UncertainDatabase",
+    "OneDimensionalDatabase",
+    "interval_probability",
+]

@@ -1,0 +1,263 @@
+"""The generic three-phase query processor (Section III-B).
+
+Phase 1 (index-based search) intersects the search rectangles contributed
+by the active strategies and runs one rectangle range search.  Phase 2
+(filtering) classifies every candidate with every strategy; a single
+REJECT drops the candidate, a single ACCEPT (only BF issues these) adds it
+to the result without integration.  Phase 3 (probability computation)
+evaluates the remaining candidates with the configured integrator and
+keeps those with estimate >= θ.
+
+The engine is strategy-agnostic: the paper's six configurations are just
+different strategy lists (see :func:`repro.core.strategies.make_strategies`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.stats import QueryStats
+from repro.core.strategies import ACCEPT, REJECT, Strategy
+from repro.errors import QueryError
+from repro.geometry.mbr import Rect
+from repro.index.base import SpatialIndex
+from repro.integrate.base import ProbabilityIntegrator
+from repro.integrate.importance import ImportanceSamplingIntegrator
+
+__all__ = ["QueryEngine", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Sorted result ids plus execution statistics."""
+
+    ids: tuple[int, ...]
+    stats: QueryStats
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __contains__(self, obj_id: int) -> bool:
+        return obj_id in set(self.ids)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The output of :meth:`QueryEngine.explain`."""
+
+    strategies: tuple[str, ...]
+    descriptions: tuple[str, ...]
+    search_rect: Rect | None
+    proves_empty: str | None
+    predicted_candidates: float | None
+
+    def render(self) -> str:
+        lines = [f"strategies: {' + '.join(self.strategies)}"]
+        lines.extend(f"  {text}" for text in self.descriptions)
+        if self.proves_empty:
+            lines.append(f"result proven empty by {self.proves_empty}")
+        elif self.search_rect is not None:
+            lines.append(f"phase-1 search rectangle: {self.search_rect!r}")
+        if self.predicted_candidates is not None:
+            lines.append(
+                f"predicted phase-3 candidates: {self.predicted_candidates:.1f}"
+            )
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """Executes probabilistic range queries over a spatial index.
+
+    Parameters
+    ----------
+    index:
+        Any :class:`repro.index.SpatialIndex` holding the target objects.
+    strategies:
+        Filtering strategies to combine; must be non-empty (the strategies
+        also supply the Phase-1 search region).
+    integrator:
+        Phase-3 probability evaluator; defaults to the paper's importance
+        sampling with 100,000 samples.
+    """
+
+    def __init__(
+        self,
+        index: SpatialIndex,
+        strategies: list[Strategy],
+        integrator: ProbabilityIntegrator | None = None,
+        *,
+        phase1: str = "intersect",
+    ):
+        if not strategies:
+            raise QueryError("at least one strategy is required")
+        if phase1 not in ("intersect", "primary"):
+            raise QueryError(
+                f"phase1 must be 'intersect' or 'primary', got {phase1!r}"
+            )
+        self.index = index
+        self.strategies = list(strategies)
+        self.integrator = integrator or ImportanceSamplingIntegrator()
+        #: Phase-1 policy.  ``"intersect"`` (default) intersects every
+        #: strategy's rectangle; ``"primary"`` searches only the first
+        #: strategy's rectangle, exactly as the paper's Algorithms 1 and 2
+        #: do (the remaining strategies act purely as Phase-2 filters).
+        self.phase1 = phase1
+
+    def execute(self, query: ProbabilisticRangeQuery) -> QueryResult:
+        stats = QueryStats()
+
+        # ------------------------------------------------------ Phase 1
+        with stats.time_phase("search"):
+            search_rect = self.prepare_search(query, stats)
+            if search_rect is None:
+                return QueryResult((), stats)
+            candidate_ids = self.index.range_search_rect(search_rect)
+            stats.retrieved = len(candidate_ids)
+            if not candidate_ids:
+                return QueryResult((), stats)
+            points = np.vstack([self.index.get(i) for i in candidate_ids])
+
+        return self.filter_and_integrate(query, candidate_ids, points, stats)
+
+    def prepare_search(
+        self, query: ProbabilisticRangeQuery, stats: QueryStats
+    ) -> Rect | None:
+        """Prepare every strategy and return the combined Phase-1 rectangle.
+
+        Returns ``None`` when some strategy proved the result empty (the
+        reason is recorded in ``stats.empty_by_strategy``).
+        """
+        if query.dim != self.index.dim:
+            raise QueryError(
+                f"query dimension {query.dim} does not match index "
+                f"dimension {self.index.dim}"
+            )
+        for strategy in self.strategies:
+            strategy.prepare(query)
+        for strategy in self.strategies:
+            if strategy.proves_empty:
+                stats.empty_by_strategy = strategy.name
+                return None
+        search_rect = self._combined_search_rect()
+        if search_rect is None:
+            stats.empty_by_strategy = "intersection"
+        return search_rect
+
+    def filter_and_integrate(
+        self,
+        query: ProbabilisticRangeQuery,
+        candidate_ids: list[int],
+        points: np.ndarray,
+        stats: QueryStats,
+    ) -> QueryResult:
+        """Phases 2 and 3 over an externally supplied candidate set.
+
+        The strategies must already be prepared for ``query`` (as done by
+        :meth:`prepare_search`); the monitoring session uses this to feed
+        cached candidates instead of a fresh index search.
+        """
+        # ------------------------------------------------------ Phase 2
+        accepted: list[int] = []
+        with stats.time_phase("filter"):
+            undecided = np.ones(len(candidate_ids), dtype=bool)
+            accept_mask = np.zeros(len(candidate_ids), dtype=bool)
+            for strategy in self.strategies:
+                if not np.any(undecided):
+                    break
+                codes = strategy.classify(points[undecided])
+                rejected = codes == REJECT
+                stats.note_rejections(strategy.name, int(np.count_nonzero(rejected)))
+                idx = np.nonzero(undecided)[0]
+                accept_mask[idx[codes == ACCEPT]] = True
+                undecided[idx[rejected]] = False
+                undecided[idx[codes == ACCEPT]] = False
+            accepted = [
+                candidate_ids[i] for i in np.nonzero(accept_mask)[0]
+            ]
+            stats.accepted_without_integration = len(accepted)
+            to_integrate = np.nonzero(undecided)[0]
+
+        # ------------------------------------------------------ Phase 3
+        with stats.time_phase("integrate"):
+            stats.integrations = int(to_integrate.size)
+            if to_integrate.size:
+                estimates = self.integrator.qualification_probabilities(
+                    query.gaussian, points[to_integrate], query.delta
+                )
+                for slot, result in zip(to_integrate, estimates):
+                    stats.integration_samples += result.n_samples
+                    if result.meets_threshold(query.theta):
+                        accepted.append(candidate_ids[slot])
+
+        ids = tuple(sorted(accepted))
+        stats.results = len(ids)
+        return QueryResult(ids, stats)
+
+    def explain(
+        self, query: ProbabilisticRangeQuery, *, estimator=None
+    ) -> "QueryPlan":
+        """Describe how this engine would process ``query`` without running
+        Phase 3.
+
+        Returns a :class:`QueryPlan` with each strategy's derived geometry
+        (region radii/half-widths), the combined Phase-1 rectangle, and —
+        when a :class:`repro.core.selectivity.SelectivityEstimator` is
+        supplied — the predicted Phase-3 candidate count.
+        """
+        stats = QueryStats()
+        rect = self.prepare_search(query, stats)
+        descriptions: list[str] = []
+        for strategy in self.strategies:
+            if strategy.name == "RR":
+                region = strategy.region  # type: ignore[attr-defined]
+                widths = (region.core.extents / 2.0).round(3).tolist()
+                descriptions.append(
+                    f"RR: theta-region box half-widths {widths}, "
+                    f"dilated by delta={region.delta:g}"
+                )
+            elif strategy.name == "OR":
+                half = strategy.box.half_widths.round(3).tolist()  # type: ignore[attr-defined]
+                descriptions.append(f"OR: oblique box half-widths {half}")
+            elif strategy.name == "BF":
+                upper = strategy.alpha_upper  # type: ignore[attr-defined]
+                lower = strategy.alpha_lower  # type: ignore[attr-defined]
+                descriptions.append(
+                    "BF: prune beyond "
+                    + (f"{upper:.3f}" if upper is not None else "— (empty result)")
+                    + ", accept within "
+                    + (f"{lower:.3f}" if lower is not None else "— (no hole)")
+                )
+        predicted = None
+        if estimator is not None and rect is not None:
+            predicted = estimator.estimate_candidates(
+                query, list(self.strategies)
+            )
+        return QueryPlan(
+            strategies=tuple(s.name for s in self.strategies),
+            descriptions=tuple(descriptions),
+            search_rect=rect,
+            proves_empty=stats.empty_by_strategy,
+            predicted_candidates=predicted,
+        )
+
+    def _combined_search_rect(self) -> Rect | None:
+        """The Phase-1 rectangle per the engine's policy; ``None`` if empty."""
+        rect: Rect | None = None
+        for strategy in self.strategies:
+            contribution = strategy.search_rect()
+            if contribution is None:
+                continue
+            if self.phase1 == "primary":
+                return contribution  # the first contributing strategy wins
+            rect = contribution if rect is None else rect.intersection(contribution)
+            if rect is None:
+                return None
+        if rect is None:
+            raise QueryError(
+                "no strategy contributed a Phase-1 search region; include RR, "
+                "OR, EM or BF"
+            )
+        return rect

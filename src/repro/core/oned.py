@@ -1,0 +1,104 @@
+"""The one-dimensional case, solved in closed form.
+
+The paper skips d = 1 ("the one-dimensional case is trivial and can be
+implemented using a simple algorithm"); this module supplies that simple
+algorithm.  For x ~ N(q, σ²),
+
+    P(|x − o| <= δ) = Φ((o + δ − q)/σ) − Φ((o − δ − q)/σ),
+
+which is maximal at o = q and strictly decreases as |o − q| grows.  The
+qualifying objects therefore form one contiguous interval around q, found
+by root-finding once per query, after which a sorted array answers the
+query by binary search — no integration, no filtering phases.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+import numpy as np
+from scipy import optimize, special
+
+from repro.errors import QueryError
+
+__all__ = ["interval_probability", "OneDimensionalDatabase"]
+
+
+def _phi(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def interval_probability(q: float, sigma: float, o: float, delta: float) -> float:
+    """P(|x − o| <= δ) for scalar x ~ N(q, σ²)."""
+    if sigma <= 0:
+        raise QueryError(f"sigma must be > 0, got {sigma}")
+    if delta < 0:
+        raise QueryError(f"delta must be >= 0, got {delta}")
+    return _phi((o + delta - q) / sigma) - _phi((o - delta - q) / sigma)
+
+
+def qualifying_interval(
+    q: float, sigma: float, delta: float, theta: float
+) -> tuple[float, float] | None:
+    """The closed interval of object positions with probability >= θ.
+
+    Returns ``None`` when even o = q falls short of θ.  The interval is
+    symmetric about q because the probability depends only on |o − q|.
+    """
+    if not 0.0 < theta < 1.0:
+        raise QueryError(f"theta must lie in (0, 1), got {theta}")
+    peak = interval_probability(q, sigma, q, delta)
+    if peak < theta:
+        return None
+    if peak == theta:
+        return (q, q)
+
+    def deficit(offset: float) -> float:
+        return interval_probability(q, sigma, q + offset, delta) - theta
+
+    # Bracket the crossing: the probability decays like a Gaussian tail in
+    # the offset, so doubling finds the sign change quickly.
+    hi = delta + sigma
+    while deficit(hi) > 0.0:
+        hi *= 2.0
+    offset = float(optimize.brentq(deficit, 0.0, hi, xtol=1e-12))
+    return (q - offset, q + offset)
+
+
+class OneDimensionalDatabase:
+    """Sorted scalar objects supporting exact 1-D probabilistic range queries."""
+
+    def __init__(self, values, ids=None):
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise QueryError(f"values must be a non-empty 1-D array, got {arr.shape}")
+        id_list = list(ids) if ids is not None else list(range(arr.size))
+        if len(id_list) != arr.size:
+            raise QueryError(f"{len(id_list)} ids for {arr.size} values")
+        order = np.argsort(arr, kind="stable")
+        self._values = arr[order]
+        self._ids = [id_list[i] for i in order]
+
+    def __len__(self) -> int:
+        return self._values.size
+
+    def probabilistic_range_query(
+        self, q: float, sigma: float, delta: float, theta: float
+    ) -> list[int]:
+        """Exact PRQ(q, δ, θ) answer via the closed-form interval."""
+        interval = qualifying_interval(q, sigma, delta, theta)
+        if interval is None:
+            return []
+        lo, hi = interval
+        start = bisect.bisect_left(self._values.tolist(), lo)
+        stop = bisect.bisect_right(self._values.tolist(), hi)
+        return sorted(self._ids[start:stop])
+
+    def qualification_probabilities(
+        self, q: float, sigma: float, delta: float
+    ) -> np.ndarray:
+        """Vectorised exact probabilities for every object, in id order given."""
+        upper = special.ndtr((self._values + delta - q) / sigma)
+        lower = special.ndtr((self._values - delta - q) / sigma)
+        return upper - lower

@@ -1,0 +1,86 @@
+"""The probabilistic range query specification (Definition 2).
+
+``PRQ(q, δ, θ)`` returns every object whose distance from the Gaussian
+query location is at most δ with probability at least θ.  The paper
+requires 0 < θ < 1: at θ = 0 every object qualifies (the Gaussian has
+infinite support) and at θ = 1 none can.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidThresholdError, QueryError
+from repro.gaussian.distribution import Gaussian
+
+__all__ = ["ProbabilisticRangeQuery"]
+
+_ArrayLike = Sequence[float] | np.ndarray
+
+
+@dataclass(frozen=True)
+class ProbabilisticRangeQuery:
+    """An immutable PRQ(q, δ, θ) specification.
+
+    Attributes
+    ----------
+    gaussian:
+        The query object's location distribution N(q, Σ).
+    delta:
+        Distance threshold δ > 0.
+    theta:
+        Probability threshold, 0 < θ < 1.
+    """
+
+    gaussian: Gaussian
+    delta: float
+    theta: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.gaussian, Gaussian):
+            raise QueryError(
+                f"gaussian must be a Gaussian, got {type(self.gaussian).__name__}"
+            )
+        if not math.isfinite(self.delta) or self.delta <= 0:
+            raise QueryError(f"delta must be finite and > 0, got {self.delta}")
+        if not (math.isfinite(self.theta) and 0.0 < self.theta < 1.0):
+            raise InvalidThresholdError(self.theta)
+
+    @classmethod
+    def create(
+        cls,
+        center: _ArrayLike,
+        sigma: np.ndarray,
+        delta: float,
+        theta: float,
+    ) -> "ProbabilisticRangeQuery":
+        """Convenience constructor from raw mean/covariance."""
+        return cls(Gaussian(center, sigma), float(delta), float(theta))
+
+    @property
+    def center(self) -> np.ndarray:
+        return self.gaussian.mean
+
+    @property
+    def dim(self) -> int:
+        return self.gaussian.dim
+
+    @property
+    def region_theta(self) -> float:
+        """θ value used to build θ-regions (Definition 3 needs θ < 1/2).
+
+        For θ >= 1/2 the θ-region is undefined; any smaller θ′ yields a
+        *larger* region, which is always a correct (conservative) choice,
+        so region-based strategies clamp to just below 1/2.
+        """
+        return min(self.theta, 0.5 - 1e-9)
+
+    def __repr__(self) -> str:
+        return (
+            f"PRQ(center={np.round(self.center, 4).tolist()}, "
+            f"delta={self.delta:g}, theta={self.theta:g})"
+        )

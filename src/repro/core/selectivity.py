@@ -1,0 +1,155 @@
+"""Selectivity estimation for probabilistic range queries.
+
+A query optimizer facing PRQ(q, δ, θ) wants to predict the Phase-3
+workload *before* running the query — e.g. to pick a strategy combination
+or an integrator budget.  The integration regions of Figs. 13–16 make this
+a density question: the expected candidate count of a strategy is the
+integral of the data density over its region.
+
+``SelectivityEstimator`` builds a d-dimensional histogram of the dataset
+once, then estimates any strategy's candidate count by sampling its region
+(uniformly over the region's bounding rectangle, thinned by region
+membership) and summing histogram densities.  Practical for d ≤ 3 where a
+dense histogram fits in memory; the constructor refuses larger d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.strategies import Strategy, make_strategies
+from repro.errors import QueryError
+from repro.geometry.mbr import Rect
+
+__all__ = ["SelectivityEstimator"]
+
+#: Histograms beyond this dimension would be sparse and huge.
+_MAX_DIM = 3
+
+
+class SelectivityEstimator:
+    """Histogram-based candidate-count estimator.
+
+    Parameters
+    ----------
+    points:
+        The dataset (n, d), d <= 3.
+    bins:
+        Histogram bins per dimension.
+    """
+
+    def __init__(self, points: np.ndarray, bins: int = 48):
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise QueryError(
+                f"points must be a non-empty (n, d) array, got {pts.shape}"
+            )
+        if pts.shape[1] > _MAX_DIM:
+            raise QueryError(
+                f"histogram selectivity supports d <= {_MAX_DIM}, got d = "
+                f"{pts.shape[1]}; estimate by sampling the index instead"
+            )
+        if bins < 2:
+            raise QueryError(f"bins must be >= 2, got {bins}")
+        self._dim = pts.shape[1]
+        self._counts, edges = np.histogramdd(pts, bins=bins)
+        self._edges = edges
+        self._lows = np.array([e[0] for e in edges])
+        self._highs = np.array([e[-1] for e in edges])
+        self._widths = np.array([e[1] - e[0] for e in edges])
+        self._bins = bins
+        self.total = pts.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    # ------------------------------------------------------------------
+    # Density queries
+    # ------------------------------------------------------------------
+
+    def density_at(self, points: np.ndarray) -> np.ndarray:
+        """Points per unit volume at each row (0 outside the data bounds)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        cell_volume = float(np.prod(self._widths))
+        raw = (pts - self._lows) / self._widths
+        outside = np.any((raw < 0) | (raw > self._bins), axis=1)
+        cells = np.clip(np.floor(raw).astype(int), 0, self._bins - 1)
+        density = self._counts[tuple(cells.T)] / cell_volume
+        density[outside] = 0.0
+        return density
+
+    def estimate_in_rect(self, rect: Rect) -> float:
+        """Expected number of points inside an axis-aligned rectangle."""
+        if rect.dim != self._dim:
+            raise QueryError(
+                f"rect has dimension {rect.dim}, estimator has {self._dim}"
+            )
+        # Fractional bin coverage per dimension, as an outer product.
+        weights = []
+        for axis in range(self._dim):
+            edges = self._edges[axis]
+            lo = np.clip(rect.lows[axis], edges[0], edges[-1])
+            hi = np.clip(rect.highs[axis], edges[0], edges[-1])
+            left = np.minimum(np.maximum(lo, edges[:-1]), edges[1:])
+            right = np.minimum(np.maximum(hi, edges[:-1]), edges[1:])
+            weights.append((right - left) / (edges[1:] - edges[:-1]))
+        coverage = weights[0]
+        for axis_weights in weights[1:]:
+            coverage = np.multiply.outer(coverage, axis_weights)
+        return float(np.sum(self._counts * coverage))
+
+    # ------------------------------------------------------------------
+    # Strategy workload prediction
+    # ------------------------------------------------------------------
+
+    def estimate_candidates(
+        self,
+        query: ProbabilisticRangeQuery,
+        strategies: str | list[Strategy] = "all",
+        *,
+        n_samples: int = 20_000,
+        seed: int = 0,
+    ) -> float:
+        """Expected Phase-3 candidate count for a strategy combination.
+
+        Monte Carlo over the combined bounding rectangle: sample uniform
+        locations, keep those every strategy leaves UNDECIDED (not
+        rejected, not BF-accepted), and integrate the data density over
+        that region.
+        """
+        from repro.core.strategies import UNKNOWN
+
+        strategy_list = (
+            make_strategies(strategies)
+            if isinstance(strategies, str)
+            else list(strategies)
+        )
+        if not strategy_list:
+            raise QueryError("at least one strategy is required")
+        for strategy in strategy_list:
+            strategy.prepare(query)
+        if any(s.proves_empty for s in strategy_list):
+            return 0.0
+        rect: Rect | None = None
+        for strategy in strategy_list:
+            contribution = strategy.search_rect()
+            if contribution is None:
+                continue
+            rect = contribution if rect is None else rect.intersection(contribution)
+            if rect is None:
+                return 0.0
+        if rect is None:
+            raise QueryError("no strategy contributed a search region")
+
+        rng = np.random.default_rng(seed)
+        samples = rect.lows + rng.random((n_samples, self._dim)) * rect.extents
+        undecided = np.ones(n_samples, dtype=bool)
+        for strategy in strategy_list:
+            codes = strategy.classify(samples[undecided])
+            idx = np.nonzero(undecided)[0]
+            undecided[idx[codes != UNKNOWN]] = False
+        densities = np.zeros(n_samples)
+        densities[undecided] = self.density_at(samples[undecided])
+        return float(densities.mean() * rect.volume())

@@ -1,0 +1,71 @@
+"""Per-query statistics: phase timings and candidate counters.
+
+The paper's evaluation reports exactly these quantities — Table I is
+Phase-1+2+3 wall time, Table II/III are candidate counts entering Phase 3
+— so the engine records them on every execution.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Counters and wall-clock timings for one query execution.
+
+    ``integrations`` is the paper's headline cost driver: the number of
+    candidates that reached numerical integration (the "number of
+    candidates" columns of Tables II and III).
+    """
+
+    retrieved: int = 0
+    rejected_by_filter: dict[str, int] = field(default_factory=dict)
+    accepted_without_integration: int = 0
+    integrations: int = 0
+    results: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    integration_samples: int = 0
+    empty_by_strategy: str | None = None
+    #: True when a monitoring session served Phase 1 from its cache.
+    cache_hit: bool = False
+
+    @contextmanager
+    def time_phase(self, phase: str):
+        """Accumulate wall time under ``phase`` ('search'/'filter'/'integrate')."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + elapsed
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(self.rejected_by_filter.values())
+
+    def note_rejections(self, strategy_name: str, count: int) -> None:
+        if count:
+            self.rejected_by_filter[strategy_name] = (
+                self.rejected_by_filter.get(strategy_name, 0) + count
+            )
+
+    def summary(self) -> str:
+        """One-line human-readable digest used by the bench harness."""
+        phases = ", ".join(
+            f"{name}={seconds * 1e3:.1f}ms"
+            for name, seconds in self.phase_seconds.items()
+        )
+        return (
+            f"retrieved={self.retrieved} rejected={self.total_rejected} "
+            f"accepted_free={self.accepted_without_integration} "
+            f"integrated={self.integrations} results={self.results} [{phases}]"
+        )

@@ -1,0 +1,359 @@
+"""The three filtering strategies of Section IV behind one interface.
+
+Every strategy is *prepared* once per query and then offers two services
+to the engine:
+
+1. a Phase-1 **search rectangle** — the engine intersects the rectangles
+   of all active strategies and runs one R-tree range search;
+2. a Phase-2 **classification** of candidate points into three classes:
+
+   - ``REJECT`` — provably fails the query; dropped without integration;
+   - ``ACCEPT`` — provably satisfies the query (only BF can do this, via
+     its lower bounding function); added to the result without integration;
+   - ``UNKNOWN`` — needs Phase-3 numerical integration.
+
+Soundness of every REJECT/ACCEPT follows from the paper's Properties 1–5
+together with the conservative catalog lookups.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.catalog.bf import BFLookup, ExactBFLookup
+from repro.catalog.rtheta import ExactRThetaLookup, RThetaLookup
+from repro.errors import QueryError
+from repro.geometry.mbr import Rect
+from repro.geometry.minkowski import MinkowskiRegion
+from repro.geometry.obliquebox import ObliqueBox
+from repro.core.query import ProbabilisticRangeQuery
+
+__all__ = [
+    "ACCEPT",
+    "REJECT",
+    "UNKNOWN",
+    "Strategy",
+    "RectilinearStrategy",
+    "ObliqueStrategy",
+    "BoundingFunctionStrategy",
+    "EllipsoidStrategy",
+    "make_strategies",
+    "STRATEGY_COMBINATIONS",
+]
+
+#: Classification codes returned by :meth:`Strategy.classify`.
+REJECT: int = -1
+UNKNOWN: int = 0
+ACCEPT: int = 1
+
+
+class Strategy(abc.ABC):
+    """One filtering strategy, prepared per query."""
+
+    #: Short name used in statistics and reports ("RR", "OR", "BF").
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def prepare(self, query: ProbabilisticRangeQuery) -> None:
+        """Derive per-query state (regions, radii).  Must be called first."""
+
+    @abc.abstractmethod
+    def search_rect(self) -> Rect | None:
+        """Phase-1 rectangle, or ``None`` if this strategy offers none."""
+
+    @abc.abstractmethod
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        """Phase-2 decision per candidate row: ACCEPT / REJECT / UNKNOWN."""
+
+    @property
+    def proves_empty(self) -> bool:
+        """True when preparation proved the whole result set is empty."""
+        return False
+
+    def _require_prepared(self, attr: str) -> None:
+        if getattr(self, attr, None) is None:
+            raise QueryError(f"{self.name} strategy used before prepare()")
+
+
+class RectilinearStrategy(Strategy):
+    """RR (Section IV-A): θ-region bounding box ⊕ δ-ball, with fringe filter.
+
+    Parameters
+    ----------
+    lookup:
+        Source of r_θ values; defaults to the exact closed form.  Pass an
+        :class:`repro.catalog.RThetaCatalog` for the paper's table-driven
+        behaviour.
+    fringe_filter:
+        ``"exact"`` applies the exact rounded-region membership test in any
+        dimension; ``"paper"`` restricts the fringe filter to d = 2 as the
+        paper does ("computation of fringe part is not easy for d >= 3");
+        ``"off"`` disables Phase-2 filtering entirely (search box only).
+    """
+
+    name = "RR"
+
+    def __init__(
+        self, lookup: RThetaLookup | None = None, *, fringe_filter: str = "exact"
+    ):
+        if fringe_filter not in ("exact", "paper", "off"):
+            raise QueryError(
+                f"fringe_filter must be 'exact', 'paper' or 'off', got {fringe_filter!r}"
+            )
+        self._lookup = lookup
+        self.fringe_filter = fringe_filter
+        self._region: MinkowskiRegion | None = None
+
+    @property
+    def region(self) -> MinkowskiRegion:
+        self._require_prepared("_region")
+        return self._region
+
+    def prepare(self, query: ProbabilisticRangeQuery) -> None:
+        lookup = self._lookup or ExactRThetaLookup(query.dim)
+        if lookup.dim != query.dim:
+            raise QueryError(
+                f"r_theta lookup is for dimension {lookup.dim}, query has {query.dim}"
+            )
+        r_theta = lookup.r_theta(query.region_theta)
+        core_box = query.gaussian.contour(r_theta).bounding_rect()
+        self._region = MinkowskiRegion(core_box, query.delta)
+
+    def search_rect(self) -> Rect:
+        return self.region.bounding_rect()
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        region = self.region
+        n = np.atleast_2d(points).shape[0]
+        codes = np.full(n, UNKNOWN, dtype=np.int8)
+        if self.fringe_filter == "off":
+            return codes
+        if self.fringe_filter == "paper" and region.dim != 2:
+            return codes
+        codes[~region.contains_points(points)] = REJECT
+        return codes
+
+
+class ObliqueStrategy(Strategy):
+    """OR (Section IV-B): eigenbasis-aligned box inflated by δ.
+
+    Primarily a Phase-2 filter (the paper notes its world-axis bounding box
+    is generally large), but the bounding rectangle is still offered to
+    Phase 1 so an OR-only configuration remains executable.
+    """
+
+    name = "OR"
+
+    def __init__(self, lookup: RThetaLookup | None = None):
+        self._lookup = lookup
+        self._box: ObliqueBox | None = None
+
+    @property
+    def box(self) -> ObliqueBox:
+        self._require_prepared("_box")
+        return self._box
+
+    def prepare(self, query: ProbabilisticRangeQuery) -> None:
+        lookup = self._lookup or ExactRThetaLookup(query.dim)
+        if lookup.dim != query.dim:
+            raise QueryError(
+                f"r_theta lookup is for dimension {lookup.dim}, query has {query.dim}"
+            )
+        r_theta = lookup.r_theta(query.region_theta)
+        self._box = ObliqueBox.for_range_query(
+            query.center, query.gaussian.sigma, r_theta, query.delta
+        )
+
+    def search_rect(self) -> Rect:
+        return self.box.bounding_rect()
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        n = np.atleast_2d(points).shape[0]
+        codes = np.full(n, UNKNOWN, dtype=np.int8)
+        codes[~self.box.contains_points(points)] = REJECT
+        return codes
+
+
+class BoundingFunctionStrategy(Strategy):
+    """BF (Section IV-C): spherical bounding functions give α∥ and α⊥.
+
+    After preparation:
+
+    - objects farther than ``alpha_upper`` from q are rejected — even the
+      upper bounding function p∥ cannot reach mass θ there (Fig. 11);
+    - objects nearer than ``alpha_lower`` are accepted without integration
+      — already the lower bounding function p⊥ guarantees mass θ;
+    - ``alpha_upper is None`` proves the result empty;
+    - ``alpha_lower is None`` reproduces the missing "inner hole" of the
+      ill-shaped high-dimensional case (Section VI).
+    """
+
+    name = "BF"
+
+    def __init__(self, lookup: BFLookup | None = None):
+        self._lookup = lookup
+        self._prepared = False
+        self._center: np.ndarray | None = None
+        self.alpha_upper: float | None = None
+        self.alpha_lower: float | None = None
+
+    def prepare(self, query: ProbabilisticRangeQuery) -> None:
+        lookup = self._lookup or ExactBFLookup(query.dim)
+        if lookup.dim != query.dim:
+            raise QueryError(
+                f"BF lookup is for dimension {lookup.dim}, query has {query.dim}"
+            )
+        gaussian = query.gaussian
+        self._center = gaussian.mean
+        sqrt_det = math.exp(0.5 * gaussian.log_det_sigma)
+        dim = query.dim
+
+        lam_par = gaussian.lam_parallel
+        scaled_theta = lam_par ** (dim / 2.0) * sqrt_det * query.theta
+        if scaled_theta >= 1.0:
+            # The upper bounding function integrates to less than theta
+            # everywhere only when no beta exists; a scaled theta >= 1 can
+            # never be reached by a probability, so the result is empty.
+            self.alpha_upper = None
+        else:
+            beta = lookup.alpha_upper(math.sqrt(lam_par) * query.delta, scaled_theta)
+            self.alpha_upper = None if beta is None else beta / math.sqrt(lam_par)
+
+        lam_perp = gaussian.lam_perp
+        scaled_theta = lam_perp ** (dim / 2.0) * sqrt_det * query.theta
+        if scaled_theta >= 1.0:
+            self.alpha_lower = None  # Eq. 37 > 1: no inner hole exists.
+        else:
+            beta = lookup.alpha_lower(math.sqrt(lam_perp) * query.delta, scaled_theta)
+            self.alpha_lower = None if beta is None else beta / math.sqrt(lam_perp)
+        self._prepared = True
+
+    @property
+    def proves_empty(self) -> bool:
+        if not self._prepared:
+            raise QueryError("BF strategy used before prepare()")
+        return self.alpha_upper is None
+
+    def search_rect(self) -> Rect | None:
+        if not self._prepared:
+            raise QueryError("BF strategy used before prepare()")
+        if self.alpha_upper is None:
+            return None
+        return Rect.from_center(
+            self._center, np.full(self._center.size, self.alpha_upper)
+        )
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        if not self._prepared:
+            raise QueryError("BF strategy used before prepare()")
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        codes = np.full(pts.shape[0], UNKNOWN, dtype=np.int8)
+        deltas = pts - self._center
+        distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        if self.alpha_upper is None:
+            codes[:] = REJECT
+            return codes
+        codes[distances > self.alpha_upper] = REJECT
+        if self.alpha_lower is not None:
+            codes[distances <= self.alpha_lower] = ACCEPT
+        return codes
+
+
+class EllipsoidStrategy(Strategy):
+    """EM (ours): filter directly with the θ-region ⊕ δ-ball region.
+
+    The paper's Fig. 3 soundness argument never needs the bounding *box*:
+    if ball(o, δ) misses the θ-region entirely, then (i) the two balls at
+    o and its point reflection o′ through q are disjoint (overlap would
+    put q inside ball(o, δ), contradicting q ∈ θ-region), and (ii) by
+    point symmetry they carry equal mass, so each holds less than half of
+    the 2θ outside the θ-region.  Hence ``dist(o, θ-region) > δ`` is a
+    sound REJECT — a region contained in both the RR and OR regions, i.e.
+    a strictly stronger geometric filter, at the cost of a per-candidate
+    root find (:meth:`repro.geometry.ellipsoid.Ellipsoid.distance_to_surface`).
+    """
+
+    name = "EM"
+
+    def __init__(self, lookup: RThetaLookup | None = None):
+        self._lookup = lookup
+        self._ellipsoid = None
+        self._delta: float | None = None
+
+    @property
+    def ellipsoid(self):
+        self._require_prepared("_ellipsoid")
+        return self._ellipsoid
+
+    def prepare(self, query: ProbabilisticRangeQuery) -> None:
+        lookup = self._lookup or ExactRThetaLookup(query.dim)
+        if lookup.dim != query.dim:
+            raise QueryError(
+                f"r_theta lookup is for dimension {lookup.dim}, query has {query.dim}"
+            )
+        r_theta = lookup.r_theta(query.region_theta)
+        self._ellipsoid = query.gaussian.contour(r_theta)
+        self._delta = query.delta
+
+    def search_rect(self) -> Rect:
+        return self.ellipsoid.bounding_rect().expand(self._delta)
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        ellipsoid = self.ellipsoid
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        codes = np.full(pts.shape[0], UNKNOWN, dtype=np.int8)
+        codes[ellipsoid.distance_to_surface(pts) > self._delta] = REJECT
+        return codes
+
+
+#: The six configurations evaluated in the paper (Section V-A), plus the
+#: EM extensions of this library.
+STRATEGY_COMBINATIONS: dict[str, tuple[str, ...]] = {
+    "rr": ("RR",),
+    "bf": ("BF",),
+    "rr+bf": ("RR", "BF"),
+    "rr+or": ("RR", "OR"),
+    "bf+or": ("BF", "OR"),
+    "all": ("RR", "BF", "OR"),
+    "em": ("EM",),
+    "em+bf": ("EM", "BF"),
+}
+
+
+def make_strategies(
+    spec: str,
+    *,
+    rtheta_lookup: RThetaLookup | None = None,
+    bf_lookup: BFLookup | None = None,
+    fringe_filter: str = "exact",
+) -> list[Strategy]:
+    """Build the strategy list for one of the paper's six configurations.
+
+    ``spec`` is one of ``rr``, ``bf``, ``rr+bf``, ``rr+or``, ``bf+or``,
+    ``all`` (case-insensitive; order inside the spec does not matter).
+    """
+    key = "+".join(sorted(spec.lower().split("+")))
+    normalized = {
+        "+".join(sorted(k.split("+"))): names for k, names in STRATEGY_COMBINATIONS.items()
+    }
+    if key not in normalized:
+        raise QueryError(
+            f"unknown strategy spec {spec!r}; choose from "
+            f"{sorted(STRATEGY_COMBINATIONS)}"
+        )
+    built: list[Strategy] = []
+    for name in normalized[key]:
+        if name == "RR":
+            built.append(
+                RectilinearStrategy(rtheta_lookup, fringe_filter=fringe_filter)
+            )
+        elif name == "OR":
+            built.append(ObliqueStrategy(rtheta_lookup))
+        elif name == "EM":
+            built.append(EllipsoidStrategy(rtheta_lookup))
+        else:
+            built.append(BoundingFunctionStrategy(bf_lookup))
+    return built

@@ -1,0 +1,114 @@
+"""Amortized evaluation of one query at many probability thresholds.
+
+Exploring "how does the answer change with θ" (the paper's §V-B-3 sweep,
+or an end user tuning confidence) naively costs one full query per θ.
+But the expensive quantity — each candidate's qualification probability —
+does not depend on θ at all.  :func:`threshold_sweep` evaluates the
+probabilities once over the *widest* region (the smallest θ requested) and
+then answers every threshold by comparison, guaranteeing mutually
+consistent, monotonically nested answer sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.database import SpatialDatabase
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.strategies import REJECT, make_strategies
+from repro.errors import QueryError
+from repro.gaussian.distribution import Gaussian
+from repro.integrate.base import ProbabilityIntegrator
+from repro.integrate.exact import ExactIntegrator
+
+__all__ = ["ThresholdSweepResult", "threshold_sweep"]
+
+
+@dataclass(frozen=True)
+class ThresholdSweepResult:
+    """Probabilities for every candidate plus per-θ answer sets."""
+
+    candidate_ids: tuple[int, ...]
+    probabilities: tuple[float, ...]
+    answers: dict[float, tuple[int, ...]]
+
+    def answer(self, theta: float) -> tuple[int, ...]:
+        try:
+            return self.answers[theta]
+        except KeyError:
+            raise QueryError(
+                f"theta={theta} was not part of the sweep; available: "
+                f"{sorted(self.answers)}"
+            ) from None
+
+
+def threshold_sweep(
+    database: SpatialDatabase,
+    gaussian: Gaussian,
+    delta: float,
+    thetas,
+    *,
+    strategies: str = "all",
+    integrator: ProbabilityIntegrator | None = None,
+) -> ThresholdSweepResult:
+    """Answer PRQ(gaussian, delta, θ) for every θ in ``thetas`` at the cost
+    of (roughly) the single widest query.
+
+    Phases 1+2 run once at θ_min (whose region is a superset of every
+    other θ's region); BF acceptance is disabled for that pass because an
+    acceptance at θ_min does not certify larger thresholds.  Probabilities
+    are evaluated once; each answer set is a simple comparison.
+    """
+    theta_list = sorted(float(t) for t in thetas)
+    if not theta_list:
+        raise QueryError("thetas must be non-empty")
+    if theta_list[0] <= 0.0 or theta_list[-1] >= 1.0:
+        raise QueryError(f"every theta must lie in (0, 1), got {theta_list}")
+    evaluator = integrator or ExactIntegrator()
+    theta_min = theta_list[0]
+    query = ProbabilisticRangeQuery(gaussian, delta, theta_min)
+
+    strategy_list = make_strategies(strategies)
+    for strategy in strategy_list:
+        strategy.prepare(query)
+    if any(s.proves_empty for s in strategy_list):
+        empty = {theta: () for theta in theta_list}
+        return ThresholdSweepResult((), (), empty)
+    rect = None
+    for strategy in strategy_list:
+        contribution = strategy.search_rect()
+        if contribution is None:
+            continue
+        rect = contribution if rect is None else rect.intersection(contribution)
+        if rect is None:
+            empty = {theta: () for theta in theta_list}
+            return ThresholdSweepResult((), (), empty)
+    candidate_ids = database.index.range_search_rect(rect)
+    if not candidate_ids:
+        empty = {theta: () for theta in theta_list}
+        return ThresholdSweepResult((), (), empty)
+    points = np.vstack([database.point(i) for i in candidate_ids])
+    undecided = np.ones(len(candidate_ids), dtype=bool)
+    for strategy in strategy_list:
+        codes = strategy.classify(points[undecided])
+        idx = np.nonzero(undecided)[0]
+        undecided[idx[codes == REJECT]] = False
+    keep = np.nonzero(undecided)[0]
+    kept_ids = tuple(candidate_ids[i] for i in keep)
+    estimates = evaluator.qualification_probabilities(
+        gaussian, points[keep], delta
+    )
+    probabilities = tuple(result.estimate for result in estimates)
+
+    answers: dict[float, tuple[int, ...]] = {}
+    for theta in theta_list:
+        answers[theta] = tuple(
+            sorted(
+                obj_id
+                for obj_id, probability in zip(kept_ids, probabilities)
+                if probability >= theta
+            )
+        )
+    return ThresholdSweepResult(kept_ids, probabilities, answers)

@@ -1,0 +1,92 @@
+"""Loaders for the paper's *real* datasets, for users who have the files.
+
+This repository ships synthetic stand-ins (see DESIGN.md), but the
+original files are publicly available; these loaders turn them into the
+arrays the benchmarks consume:
+
+- :func:`load_corel_color_moments` — the UCI KDD ``ColorMoments.asc``
+  table (one image per line: id followed by nine floats);
+- :func:`load_tiger_line_segments` — a whitespace/CSV file of 2-D segment
+  endpoints (``x1 y1 x2 y2`` per line), returning their midpoints;
+- :func:`normalize_to_square` — the paper's [0, extent]² normalization.
+
+Pass the results straight to :class:`repro.SpatialDatabase` or to the
+experiment runners via their ``points=``/``database=`` parameters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "load_corel_color_moments",
+    "load_tiger_line_segments",
+    "normalize_to_square",
+]
+
+
+def _read_numeric_lines(path: str | Path, expected_fields: int) -> np.ndarray:
+    """Parse a whitespace/comma separated numeric table, skipping comments."""
+    rows: list[list[float]] = []
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from exc
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        fields = stripped.replace(",", " ").split()
+        if len(fields) != expected_fields:
+            raise ReproError(
+                f"{path}:{line_no}: expected {expected_fields} fields, got "
+                f"{len(fields)}"
+            )
+        try:
+            rows.append([float(f) for f in fields])
+        except ValueError as exc:
+            raise ReproError(f"{path}:{line_no}: non-numeric field") from exc
+    if not rows:
+        raise ReproError(f"{path} contains no data rows")
+    return np.asarray(rows)
+
+
+def load_corel_color_moments(path: str | Path) -> np.ndarray:
+    """Load the UCI KDD Color Moments table: ``id f1 ... f9`` per line.
+
+    Returns the (n, 9) feature matrix (ids are positional, as in the
+    paper's experiments).
+    """
+    table = _read_numeric_lines(path, expected_fields=10)
+    return table[:, 1:]
+
+
+def load_tiger_line_segments(path: str | Path) -> np.ndarray:
+    """Load 2-D line segments (``x1 y1 x2 y2`` per line) as midpoints.
+
+    The paper "extracted the midpoint for each line segment then made a
+    point set"; this does the same for any pre-extracted segment file.
+    """
+    table = _read_numeric_lines(path, expected_fields=4)
+    return (table[:, :2] + table[:, 2:]) / 2.0
+
+
+def normalize_to_square(points: np.ndarray, extent: float = 1000.0) -> np.ndarray:
+    """Scale each dimension independently onto [0, extent] (the paper's
+    normalization of the Long Beach set)."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[0] < 2:
+        raise ReproError(
+            f"points must be a (n >= 2, d) array, got shape {pts.shape}"
+        )
+    if extent <= 0:
+        raise ReproError(f"extent must be > 0, got {extent}")
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    if np.any(span == 0):
+        raise ReproError("a dimension has zero extent; cannot normalize")
+    return (pts - lo) / span * extent

@@ -1,0 +1,186 @@
+"""A synthetic road network standing in for TIGER Long Beach.
+
+The paper's 2-D dataset is the set of road-segment *midpoints* of Long
+Beach, CA (50,747 points, normalized to [0, 1000]²).  What the experiments
+exercise is a strongly skewed, locally linear 2-D point distribution; this
+module synthesizes one with the same cardinality and normalization from an
+explicit street model:
+
+1. **towns** — centre locations from a uniform process, sizes from a
+   power law (a few big cities, many hamlets);
+2. **local streets** — an axis-aligned street grid around each town centre
+   (jittered spacing, extent ∝ town size), each street chopped into short
+   segments whose midpoints are emitted;
+3. **arterials** — roads along the minimum spanning tree of the towns
+   (plus a few extra links), again chopped into segments.
+
+Everything is driven by one seed, so datasets are reproducible; the exact
+requested cardinality is met by deterministic subsampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["RoadNetwork", "long_beach_like"]
+
+#: Cardinality of the paper's Long Beach midpoint set.
+LONG_BEACH_SIZE = 50_747
+
+
+@dataclass(frozen=True)
+class RoadNetwork:
+    """A generated road network: segments and their midpoints."""
+
+    segments: np.ndarray  # (m, 2, 2): endpoint pairs
+    midpoints: np.ndarray  # (n, 2)
+    town_centers: np.ndarray  # (t, 2)
+
+    @property
+    def size(self) -> int:
+        return self.midpoints.shape[0]
+
+
+def _chop(p0: np.ndarray, p1: np.ndarray, segment_length: float) -> np.ndarray:
+    """Split the segment p0→p1 into pieces of ≈ ``segment_length``;
+    returns an array of (2, 2) endpoint pairs."""
+    length = float(np.linalg.norm(p1 - p0))
+    pieces = max(1, int(round(length / segment_length)))
+    ts = np.linspace(0.0, 1.0, pieces + 1)
+    knots = p0 + np.outer(ts, p1 - p0)
+    return np.stack([knots[:-1], knots[1:]], axis=1)
+
+
+def _town_streets(
+    center: np.ndarray,
+    radius: float,
+    spacing: float,
+    segment_length: float,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Jittered grid of streets clipped to a disc around ``center``."""
+    segments = []
+    for axis in (0, 1):
+        offsets = np.arange(-radius, radius + spacing, spacing)
+        offsets = offsets + rng.normal(0.0, 0.15 * spacing, size=offsets.size)
+        for offset in offsets:
+            half_span = np.sqrt(max(radius**2 - offset**2, 0.0))
+            if half_span < segment_length:
+                continue
+            lo = np.array(center, dtype=float)
+            hi = np.array(center, dtype=float)
+            lo[axis] += offset
+            hi[axis] += offset
+            lo[1 - axis] -= half_span
+            hi[1 - axis] += half_span
+            segments.append(_chop(lo, hi, segment_length))
+    return segments
+
+
+def _spanning_arterials(centers: np.ndarray, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Town-connecting edges: MST plus a few shortcut links.
+
+    Uses networkx when available; otherwise falls back to Prim's algorithm
+    implemented inline (the result is the same tree).
+    """
+    n = centers.shape[0]
+    try:
+        import networkx as nx
+
+        graph = nx.Graph()
+        for i in range(n):
+            for j in range(i + 1, n):
+                graph.add_edge(i, j, weight=float(np.linalg.norm(centers[i] - centers[j])))
+        edges = list(nx.minimum_spanning_tree(graph).edges())
+    except ImportError:  # pragma: no cover - networkx ships in the test env
+        in_tree = {0}
+        edges = []
+        while len(in_tree) < n:
+            best = None
+            for i in in_tree:
+                for j in range(n):
+                    if j in in_tree:
+                        continue
+                    d = float(np.linalg.norm(centers[i] - centers[j]))
+                    if best is None or d < best[0]:
+                        best = (d, i, j)
+            _, i, j = best
+            edges.append((i, j))
+            in_tree.add(j)
+    # A few redundant links make the network look less tree-like.
+    extras = max(1, n // 8)
+    for _ in range(extras):
+        i, j = rng.choice(n, size=2, replace=False)
+        edges.append((int(i), int(j)))
+    return edges
+
+
+def long_beach_like(
+    n: int = LONG_BEACH_SIZE,
+    *,
+    seed: int = 0,
+    n_towns: int = 64,
+    extent: float = 1000.0,
+) -> RoadNetwork:
+    """Generate the Long-Beach-like midpoint dataset.
+
+    Parameters
+    ----------
+    n:
+        Number of midpoints to return (default: the paper's 50,747).
+    seed:
+        Seed for every random choice in the construction.
+    n_towns:
+        Number of town centres.
+    extent:
+        Points are normalized to [0, extent]².
+    """
+    if n < 1:
+        raise ReproError(f"n must be >= 1, got {n}")
+    if n_towns < 2:
+        raise ReproError(f"n_towns must be >= 2, got {n_towns}")
+    rng = np.random.default_rng(seed)
+
+    centers = rng.random((n_towns, 2)) * extent
+    # Power-law town sizes: radius of the street grid.
+    sizes = 20.0 + 140.0 * rng.pareto(2.5, size=n_towns)
+    sizes = np.clip(sizes, 20.0, 220.0)
+
+    all_segments: list[np.ndarray] = []
+    for center, radius in zip(centers, sizes):
+        spacing = rng.uniform(6.0, 14.0)
+        all_segments.extend(
+            _town_streets(center, radius, spacing, segment_length=8.0, rng=rng)
+        )
+    for i, j in _spanning_arterials(centers, rng):
+        # Arterials bend through one random waypoint for realism.
+        waypoint = (centers[i] + centers[j]) / 2.0 + rng.normal(0, extent * 0.03, 2)
+        all_segments.append(_chop(centers[i], waypoint, segment_length=10.0))
+        all_segments.append(_chop(waypoint, centers[j], segment_length=10.0))
+
+    segments = np.concatenate(all_segments, axis=0)
+    midpoints = segments.mean(axis=1)
+
+    # Clip to the square, then normalize exactly to [0, extent]^2.
+    inside = np.all((midpoints >= 0) & (midpoints <= extent), axis=1)
+    segments, midpoints = segments[inside], midpoints[inside]
+    if midpoints.shape[0] < n:
+        raise ReproError(
+            f"generator produced only {midpoints.shape[0]} midpoints; "
+            f"increase n_towns or lower n={n}"
+        )
+    keep = rng.choice(midpoints.shape[0], size=n, replace=False)
+    keep.sort()
+    segments, midpoints = segments[keep], midpoints[keep]
+
+    lo = midpoints.min(axis=0)
+    hi = midpoints.max(axis=0)
+    scale = extent / (hi - lo)
+    midpoints = (midpoints - lo) * scale
+    segments = (segments - lo) * scale
+
+    return RoadNetwork(segments=segments, midpoints=midpoints, town_centers=centers)

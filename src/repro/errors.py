@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class.  Subclasses are
+grouped by subsystem: geometry, Gaussian math, catalogs, indexing, and the
+query engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric object or operation (bad bounds, dimension, …)."""
+
+
+class DimensionMismatchError(GeometryError):
+    """Two objects with incompatible dimensionalities were combined."""
+
+    def __init__(self, expected: int, actual: int, what: str = "operand"):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"dimension mismatch: {what} has dimension {actual}, expected {expected}"
+        )
+
+
+class NotPositiveDefiniteError(ReproError):
+    """A covariance matrix is not symmetric positive definite."""
+
+
+class IntegrationError(ReproError):
+    """Numerical integration failed to produce a usable estimate."""
+
+
+class CatalogError(ReproError):
+    """A U-catalog is malformed, empty, or cannot serve a lookup."""
+
+
+class CatalogLookupError(CatalogError):
+    """No conservative catalog entry exists for the requested parameters."""
+
+
+class IndexError_(ReproError):
+    """Spatial index misuse (duplicate ids, unknown id, wrong dimension)."""
+
+
+class QueryError(ReproError):
+    """Invalid probabilistic query specification."""
+
+
+class InvalidThresholdError(QueryError):
+    """Probability threshold outside the open interval required by the query."""
+
+    def __init__(self, theta: float, low: float = 0.0, high: float = 1.0):
+        self.theta = theta
+        super().__init__(
+            f"probability threshold must satisfy {low} < theta < {high}, got {theta}"
+        )

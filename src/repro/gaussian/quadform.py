@@ -1,0 +1,315 @@
+"""Exact CDFs of Gaussian quadratic forms.
+
+The qualification probability of a target object o under a Gaussian query
+x ~ N(q, Σ) is P(‖x − o‖² ≤ δ²).  Writing y = x − o ~ N(μ, Σ) with
+μ = q − o and rotating into the eigenbasis of Σ gives
+
+    ‖y‖² = Σᵢ λᵢ (zᵢ + bᵢ)²,   zᵢ ~ N(0, 1) i.i.d.,
+
+with λᵢ the eigenvalues of Σ and bᵢ = (Eᵀμ)ᵢ / √λᵢ — a weighted sum of
+independent noncentral χ² variables.  The paper estimates this probability
+by Monte Carlo; here we additionally compute it *exactly* by two classical
+methods, which serve as ground truth for the integrators and as an
+optional exact Phase-3 evaluator:
+
+- **Imhof (1961)**: numerical inversion of the characteristic function,
+  robust for any weights;
+- **Ruben (1962)**: a series of central χ² CDFs with a guaranteed
+  truncation bound when the expansion parameter β is at most min λᵢ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import integrate, special
+
+from repro.errors import GeometryError, IntegrationError
+from repro.gaussian.distribution import Gaussian
+
+__all__ = [
+    "GaussianQuadraticForm",
+    "imhof_cdf",
+    "ruben_cdf",
+    "qualification_probability_exact",
+]
+
+
+@dataclass(frozen=True)
+class GaussianQuadraticForm:
+    """Q = Σⱼ weights[j] · χ²(df[j], noncentrality[j]), independent terms.
+
+    Attributes
+    ----------
+    weights:
+        Positive weights λⱼ.
+    dofs:
+        Degrees of freedom hⱼ (positive integers).
+    noncentralities:
+        Noncentrality parameters δⱼ² ≥ 0 (sum of squared means).
+    """
+
+    weights: np.ndarray
+    dofs: np.ndarray
+    noncentralities: np.ndarray
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.weights, dtype=float)
+        h = np.asarray(self.dofs, dtype=float)
+        nc = np.asarray(self.noncentralities, dtype=float)
+        if not (w.shape == h.shape == nc.shape) or w.ndim != 1 or w.size == 0:
+            raise GeometryError(
+                "weights, dofs and noncentralities must be equal-length 1-D arrays"
+            )
+        if np.any(w <= 0):
+            raise GeometryError(f"weights must be > 0, got {w}")
+        if np.any(h <= 0) or np.any(h != np.round(h)):
+            raise GeometryError(f"degrees of freedom must be positive ints, got {h}")
+        if np.any(nc < 0):
+            raise GeometryError(f"noncentralities must be >= 0, got {nc}")
+        object.__setattr__(self, "weights", w)
+        object.__setattr__(self, "dofs", h)
+        object.__setattr__(self, "noncentralities", nc)
+
+    @classmethod
+    def squared_distance(cls, gaussian: Gaussian, point: np.ndarray) -> (
+        "GaussianQuadraticForm"
+    ):
+        """The form ‖x − point‖² for x ~ ``gaussian``."""
+        p = np.asarray(point, dtype=float)
+        if p.shape != gaussian.mean.shape:
+            raise GeometryError(
+                f"point shape {p.shape} does not match Gaussian dim {gaussian.dim}"
+            )
+        mu = gaussian.mean - p
+        rotated = gaussian.basis.T @ mu
+        weights = gaussian.eigenvalues
+        noncentralities = rotated**2 / weights
+        return cls(weights, np.ones(gaussian.dim), noncentralities)
+
+    def mean(self) -> float:
+        """E[Q] = Σ λⱼ (hⱼ + δⱼ²)."""
+        return float(np.sum(self.weights * (self.dofs + self.noncentralities)))
+
+    def variance(self) -> float:
+        """Var[Q] = 2 Σ λⱼ² (hⱼ + 2δⱼ²)."""
+        return float(
+            2.0 * np.sum(self.weights**2 * (self.dofs + 2.0 * self.noncentralities))
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Direct simulation of Q (used in cross-validation tests)."""
+        total = np.zeros(n)
+        for w, h, nc in zip(self.weights, self.dofs, self.noncentralities):
+            total += w * rng.noncentral_chisquare(h, nc, size=n) if nc > 0 else (
+                w * rng.chisquare(h, size=n)
+            )
+        return total
+
+
+def imhof_cdf(form: GaussianQuadraticForm, x: float, *, tol: float = 1e-10) -> float:
+    """P(Q ≤ x) by Imhof's characteristic-function inversion.
+
+    Implements Imhof (1961), Eq. 3.2:
+
+        P(Q > x) = 1/2 + (1/π) ∫₀^∞ sin θ(u) / (u ρ(u)) du
+
+    with θ(u) = ½ Σⱼ [hⱼ·atan(λⱼu) + δⱼ²λⱼu/(1+λⱼ²u²)] − ½xu and
+    ρ(u) = Πⱼ (1+λⱼ²u²)^{hⱼ/4} · exp(½ Σⱼ δⱼ²λⱼ²u²/(1+λⱼ²u²)).
+    """
+    if x <= 0:
+        return 0.0  # Q is a.s. positive, and w = x/2 must be > 0 for QAWF
+    lam = form.weights
+    h = form.dofs
+    nc = form.noncentralities
+
+    limit_at_zero = 0.5 * (float(np.sum(h * lam)) + float(np.sum(nc * lam)) - x)
+
+    def phase_smooth(u: float) -> float:
+        """φ(u) = θ(u) + x·u/2 — the bounded, non-oscillatory part of the phase."""
+        lu = lam * u
+        lu2 = lu * lu
+        return 0.5 * (
+            float(np.sum(h * np.arctan(lu))) + float(np.sum(nc * lu / (1.0 + lu2)))
+        )
+
+    def inv_u_rho(u: float) -> float:
+        """1/(u·ρ(u)) — the integrand's decreasing envelope."""
+        lu2 = (lam * u) ** 2
+        log_rho = 0.25 * float(np.sum(h * np.log1p(lu2))) + 0.5 * float(
+            np.sum(nc * lu2 / (1.0 + lu2))
+        )
+        return math.exp(-math.log(u) - log_rho)
+
+    def integrand(u: float) -> float:
+        if u < 1e-12:
+            # Limit as u -> 0: theta/u -> (sum h*lam + sum nc*lam - x)/2, rho -> 1.
+            return limit_at_zero
+        return math.sin(phase_smooth(u) - 0.5 * x * u) * inv_u_rho(u)
+
+    # The integrand oscillates as sin(phi(u) - w*u) with w = x/2 and phi smooth
+    # and bounded.  Integrate a head interval holding at most a few periods
+    # adaptively, then hand the infinite oscillatory tail to QUADPACK's
+    # Fourier integrator (QAWF) after splitting the sine of a difference.
+    w = 0.5 * x
+    # Keep the adaptively-integrated head interval to a few dozen periods.
+    head_end = min(1.0, 40.0 * math.pi / w)
+    head, _ = integrate.quad(
+        integrand, 0.0, head_end, epsabs=tol, epsrel=1e-9, limit=400
+    )
+    # sin(phi - wu) = sin(phi)cos(wu) - cos(phi)sin(wu); QUADPACK's Fourier
+    # integrator (QAWF) handles each term over [head_end, inf) for any w > 0.
+    cos_part, _ = integrate.quad(
+        lambda u: math.sin(phase_smooth(u)) * inv_u_rho(u),
+        head_end,
+        np.inf,
+        weight="cos",
+        wvar=w,
+        epsabs=tol,
+        limit=400,
+    )
+    sin_part, _ = integrate.quad(
+        lambda u: -math.cos(phase_smooth(u)) * inv_u_rho(u),
+        head_end,
+        np.inf,
+        weight="sin",
+        wvar=w,
+        epsabs=tol,
+        limit=400,
+    )
+    value = head + cos_part + sin_part
+    if not math.isfinite(value):
+        raise IntegrationError(f"Imhof inversion diverged for x={x}")
+    upper_tail = 0.5 + value / math.pi
+    return float(min(1.0, max(0.0, 1.0 - upper_tail)))
+
+
+def ruben_cdf(
+    form: GaussianQuadraticForm,
+    x: float,
+    *,
+    max_terms: int = 10_000,
+    tol: float = 1e-12,
+) -> float:
+    """P(Q ≤ x) by Ruben's (1962) mixture-of-central-χ² series.
+
+    With expansion parameter β = min λⱼ every mixture weight aₖ is
+    non-negative and they sum to 1, so the truncation error after K terms
+    is bounded by 1 − Σ_{k≤K} aₖ — the loop stops once that bound (times
+    the largest possible CDF value) is below ``tol``.
+    """
+    if x < 0:
+        return 0.0
+    if x == 0:
+        return 0.0
+    lam = form.weights
+    h = form.dofs
+    nc = form.noncentralities
+    beta = float(lam.min())
+    ratios = 1.0 - beta / lam  # r_j in [0, 1)
+    rho = float(h.sum())
+
+    log_a0 = -0.5 * float(nc.sum()) + 0.5 * float(np.sum(h * np.log(beta / lam)))
+    if log_a0 < -700.0:
+        raise IntegrationError(
+            f"Ruben's leading weight underflows (log a0 = {log_a0:.0f}); the "
+            "noncentrality is too large for this expansion — use Imhof"
+        )
+    a = [math.exp(log_a0)]
+    # g_k = sum_j h_j r_j^k + k*beta * sum_j (nc_j/lam_j) r_j^(k-1)
+    weight_sum = a[0]
+    scaled_x = x / beta
+    cdf = a[0] * float(special.gammainc(rho / 2.0, scaled_x / 2.0))
+    ratio_pow = np.ones_like(ratios)  # r_j^(k-1) entering iteration k
+    nc_over_lam = nc / lam
+    g_list: list[float] = []
+    for k in range(1, max_terms + 1):
+        g_k = float(np.sum(h * ratio_pow * ratios)) + k * beta * float(
+            np.sum(nc_over_lam * ratio_pow)
+        )
+        ratio_pow = ratio_pow * ratios
+        g_list.append(g_k)
+        # a_k = (1/(2k)) * sum_{r=1..k} g_r a_{k-r}
+        a_k = sum(g_list[r - 1] * a[k - r] for r in range(1, k + 1)) / (2.0 * k)
+        a.append(a_k)
+        weight_sum += a_k
+        cdf += a_k * float(special.gammainc((rho + 2 * k) / 2.0, scaled_x / 2.0))
+        if 1.0 - weight_sum < tol:
+            break
+    else:
+        raise IntegrationError(
+            f"Ruben series did not converge in {max_terms} terms "
+            f"(remaining mass {1.0 - weight_sum:.3e}); weights span "
+            f"{lam.min():g}..{lam.max():g}"
+        )
+    return float(min(1.0, max(0.0, cdf)))
+
+
+def chi2_sandwich_bounds(
+    form: GaussianQuadraticForm, x: float
+) -> tuple[float, float]:
+    """Cheap rigorous bounds on P(Q ≤ x).
+
+    Since λ_min·χ²_d(Σδ²) ≤ Q ≤ λ_max·χ²_d(Σδ²) pointwise (with the same
+    underlying normals), the noncentral-χ² CDF evaluated at x/λ_max and
+    x/λ_min sandwiches the true CDF.
+    """
+    from scipy import stats as _stats
+
+    if x <= 0:
+        return (0.0, 0.0)
+    df = float(form.dofs.sum())
+    nc_total = float(form.noncentralities.sum())
+    lam_min = float(form.weights.min())
+    lam_max = float(form.weights.max())
+    if nc_total > 0:
+        lower = float(_stats.ncx2.cdf(x / lam_max, df, nc_total))
+        upper = float(_stats.ncx2.cdf(x / lam_min, df, nc_total))
+    else:
+        lower = float(_stats.chi2.cdf(x / lam_max, df))
+        upper = float(_stats.chi2.cdf(x / lam_min, df))
+    return (lower, upper)
+
+
+#: Probabilities closer than this to 0 or 1 are resolved by the sandwich
+#: bounds alone, skipping the expensive inversion.
+_TAIL_SHORTCUT = 1e-14
+
+
+def qualification_probability_exact(
+    gaussian: Gaussian,
+    point: np.ndarray,
+    delta: float,
+    *,
+    method: str = "imhof",
+) -> float:
+    """Exact P(‖x − point‖ ≤ delta) for x ~ ``gaussian``.
+
+    ``method`` selects ``"imhof"`` or ``"ruben"``; both agree to high
+    precision and either can serve as the Phase-3 evaluator when exact
+    answers are preferred over Monte Carlo.  Probabilities provably within
+    1e−14 of 0 or 1 (by the noncentral-χ² sandwich bounds) are returned
+    directly, and Ruben falls back to Imhof when its leading weight
+    underflows for extreme noncentralities.
+    """
+    if delta < 0:
+        raise GeometryError(f"delta must be >= 0, got {delta}")
+    if delta == 0:
+        return 0.0
+    if method not in ("imhof", "ruben"):
+        raise GeometryError(f"unknown method {method!r}; use 'imhof' or 'ruben'")
+    form = GaussianQuadraticForm.squared_distance(gaussian, point)
+    threshold = delta * delta
+    lower, upper = chi2_sandwich_bounds(form, threshold)
+    if upper < _TAIL_SHORTCUT:
+        return upper
+    if lower > 1.0 - _TAIL_SHORTCUT:
+        return lower
+    if method == "imhof":
+        return imhof_cdf(form, threshold)
+    try:
+        return ruben_cdf(form, threshold)
+    except IntegrationError:
+        return imhof_cdf(form, threshold)

@@ -1,0 +1,134 @@
+"""Radial mass functions of the normalized Gaussian.
+
+Two closed forms replace the paper's purely numerical table construction
+(they are also used to *build* those tables; see :mod:`repro.catalog`):
+
+1. The mass of N(0, I_d) inside the origin-centred ball of radius r is the
+   χ_d CDF:  P(‖Z‖ ≤ r) = P(χ²_d ≤ r²) = γ(d/2, r²/2)/Γ(d/2).
+   Inverting it gives r_θ (Definition 5 / Eq. 7) directly.
+
+2. The mass of N(0, I_d) inside a ball of radius δ whose centre sits at
+   distance α from the origin is the noncentral-χ² CDF
+   P(χ²_d(α²) ≤ δ²) — exactly the integral of Eq. 21, so the BF catalog
+   entry α(δ, θ) is a one-dimensional root-finding problem.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import optimize, special, stats
+
+from repro.errors import GeometryError, IntegrationError
+
+__all__ = [
+    "radial_cdf",
+    "radial_ppf",
+    "r_theta",
+    "offset_sphere_mass",
+    "alpha_for_mass",
+]
+
+
+def _check_dim(dim: int) -> None:
+    if not isinstance(dim, (int, np.integer)) or dim < 1:
+        raise GeometryError(f"dimension must be a positive integer, got {dim!r}")
+
+
+def radial_cdf(dim: int, radius: float | np.ndarray) -> float | np.ndarray:
+    """Mass of the normalized Gaussian inside the ball of radius ``radius``.
+
+    Vectorised over ``radius``.  This is the curve family plotted in
+    Fig. 17 of the paper (one curve per dimension).
+    """
+    _check_dim(dim)
+    r = np.asarray(radius, dtype=float)
+    if np.any(r < 0):
+        raise GeometryError(f"radius must be >= 0, got {radius}")
+    out = special.gammainc(dim / 2.0, r * r / 2.0)
+    return float(out) if np.isscalar(radius) else out
+
+
+def radial_ppf(dim: int, mass: float) -> float:
+    """Radius of the origin-centred ball holding probability ``mass``."""
+    _check_dim(dim)
+    if not 0.0 <= mass < 1.0:
+        raise GeometryError(f"mass must be in [0, 1), got {mass}")
+    if mass == 0.0:
+        return 0.0
+    return float(math.sqrt(2.0 * special.gammaincinv(dim / 2.0, mass)))
+
+
+def r_theta(dim: int, theta: float) -> float:
+    """The θ-region radius r_θ of Definition 5: mass(r_θ) = 1 − 2θ.
+
+    Requires 0 < θ < 1/2 (the paper's constraint; at θ = 1/2 the region
+    degenerates to the centre point).
+    """
+    if not 0.0 < theta < 0.5:
+        raise GeometryError(f"theta must satisfy 0 < theta < 1/2, got {theta}")
+    return radial_ppf(dim, 1.0 - 2.0 * theta)
+
+
+def offset_sphere_mass(dim: int, delta: float, alpha: float) -> float:
+    """Mass of N(0, I_d) in the δ-ball whose centre is at distance α.
+
+    This is the left side of Eq. 21 with the sphere translated by α, and
+    equals the noncentral-χ² CDF P(χ²_d(λ = α²) ≤ δ²).
+    """
+    _check_dim(dim)
+    if delta < 0 or alpha < 0:
+        raise GeometryError(f"delta and alpha must be >= 0, got {delta}, {alpha}")
+    if delta == 0.0:
+        return 0.0
+    if alpha == 0.0:
+        return radial_cdf(dim, delta)
+    value = float(stats.ncx2.cdf(delta * delta, df=dim, nc=alpha * alpha))
+    if math.isnan(value):
+        # Extreme noncentralities overflow scipy's series; fall back to the
+        # normal approximation chi'2_d(nc) ~ N(d + nc, 2(d + 2 nc)), which
+        # is excellent in exactly that regime.
+        nc = alpha * alpha
+        mean = dim + nc
+        std = math.sqrt(2.0 * (dim + 2.0 * nc))
+        value = float(stats.norm.cdf((delta * delta - mean) / std))
+    return value
+
+
+def alpha_for_mass(dim: int, delta: float, theta: float) -> float | None:
+    """Solve Eq. 21 for α: the centre offset at which the δ-ball holds mass θ.
+
+    The mass is strictly decreasing in α, from ``radial_cdf(dim, delta)`` at
+    α = 0 towards 0.  Returns ``None`` when even the origin-centred ball
+    holds less than θ — the situation Section VI describes for ill-shaped
+    high-dimensional Gaussians where no inner "hole" exists (for the α⊥
+    lookup) or no object can qualify (for the α∥ lookup).
+    """
+    _check_dim(dim)
+    if delta <= 0:
+        raise GeometryError(f"delta must be > 0, got {delta}")
+    if not 0.0 < theta < 1.0:
+        raise GeometryError(f"theta must be in (0, 1), got {theta}")
+    mass_at_origin = radial_cdf(dim, delta)
+    if mass_at_origin < theta:
+        return None
+    if mass_at_origin == theta:
+        return 0.0
+
+    def deficit(alpha: float) -> float:
+        return offset_sphere_mass(dim, delta, alpha) - theta
+
+    # Bracket: grow the upper bound until the mass falls below theta.  The
+    # mass at offset alpha decays like exp(-(alpha-delta)^2/2), so a few
+    # doublings always suffice.
+    hi = delta + 1.0
+    for _ in range(200):
+        if deficit(hi) < 0.0:
+            break
+        hi *= 2.0
+    else:  # pragma: no cover - defensive; mass provably reaches 0
+        raise IntegrationError(
+            f"could not bracket alpha for dim={dim}, delta={delta}, theta={theta}"
+        )
+    return float(optimize.brentq(deficit, 0.0, hi, xtol=1e-12, rtol=1e-12))

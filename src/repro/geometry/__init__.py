@@ -1,0 +1,34 @@
+"""Geometric primitives used by the query strategies.
+
+The strategies of the paper manipulate a small zoo of d-dimensional shapes:
+
+- :class:`~repro.geometry.mbr.Rect` — axis-aligned rectangles (MBRs), the
+  currency of the R-tree and of the rectilinear strategy (RR);
+- :class:`~repro.geometry.sphere.Sphere` — the δ-balls of the range
+  predicate and the α-balls of the bounding-function strategy (BF);
+- :class:`~repro.geometry.ellipsoid.Ellipsoid` — θ-regions, the
+  equi-probability contours of the Gaussian query object;
+- :class:`~repro.geometry.minkowski.MinkowskiRegion` — the rounded box of
+  Fig. 4, a rectangle dilated by a δ-ball, with the exact fringe test;
+- :class:`~repro.geometry.obliquebox.ObliqueBox` — the eigenbasis-aligned
+  box of the oblique strategy (OR, Fig. 5/7);
+- :mod:`~repro.geometry.transforms` — the eigenbasis / whitening maps of
+  Property 3.
+"""
+
+from repro.geometry.mbr import Rect
+from repro.geometry.sphere import Sphere
+from repro.geometry.ellipsoid import Ellipsoid
+from repro.geometry.minkowski import MinkowskiRegion
+from repro.geometry.obliquebox import ObliqueBox
+from repro.geometry.transforms import EigenTransform, WhiteningTransform
+
+__all__ = [
+    "Rect",
+    "Sphere",
+    "Ellipsoid",
+    "MinkowskiRegion",
+    "ObliqueBox",
+    "EigenTransform",
+    "WhiteningTransform",
+]

@@ -1,0 +1,110 @@
+"""Minkowski sums of rectangles with δ-balls (the rounded box of Fig. 4).
+
+The RR strategy searches the R-tree with the bounding box of the θ-region
+dilated by δ, then removes candidates that fall in the *fringe* — the
+corner slivers between the dilated rectangle and the true Minkowski sum.
+The paper applies the fringe test only for d = 2 ("computation of fringe
+part is not easy for d ≥ 3"); this module provides the exact test in every
+dimension, because membership in a rect ⊕ δ-ball Minkowski sum is simply
+``distance(point, rect) ≤ δ``.  The d = 2 restriction is kept as an option
+at the strategy level for paper-faithful runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.mbr import Rect
+
+__all__ = ["MinkowskiRegion"]
+
+_ArrayLike = Sequence[float] | np.ndarray
+
+
+class MinkowskiRegion:
+    """The Minkowski sum of an axis-aligned rectangle and a closed δ-ball.
+
+    Parameters
+    ----------
+    core:
+        The rectangle being dilated (the θ-region bounding box in RR).
+    delta:
+        Dilation radius δ ≥ 0.
+    """
+
+    __slots__ = ("_core", "_delta")
+
+    def __init__(self, core: Rect, delta: float):
+        if not math.isfinite(delta) or delta < 0:
+            raise GeometryError(f"delta must be finite and >= 0, got {delta}")
+        self._core = core
+        self._delta = float(delta)
+
+    @property
+    def core(self) -> Rect:
+        return self._core
+
+    @property
+    def delta(self) -> float:
+        return self._delta
+
+    @property
+    def dim(self) -> int:
+        return self._core.dim
+
+    def bounding_rect(self) -> Rect:
+        """The dilated rectangle — what Phase 1 feeds to the R-tree."""
+        return self._core.expand(self._delta)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Exact vectorised membership test, valid in every dimension.
+
+        A point belongs to rect ⊕ ball(δ) iff its distance to the rectangle
+        is at most δ.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        below = np.maximum(self._core.lows - pts, 0.0)
+        above = np.maximum(pts - self._core.highs, 0.0)
+        gap = below + above
+        return np.einsum("ij,ij->i", gap, gap) <= self._delta**2
+
+    def contains_point(self, point: _ArrayLike) -> bool:
+        return bool(self.contains_points(np.asarray(point, dtype=float)[None, :])[0])
+
+    def in_fringe(self, points: np.ndarray) -> np.ndarray:
+        """True for points inside the dilated box but outside the rounded region.
+
+        These are exactly the candidates the RR Phase-2 filter discards
+        (the black corner regions of Fig. 4).
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        in_box = self.bounding_rect().contains_points(pts)
+        return in_box & ~self.contains_points(pts)
+
+    # ------------------------------------------------------------------
+    # Measures (used to reproduce the region figures 13–16)
+    # ------------------------------------------------------------------
+
+    def volume_2d(self) -> float:
+        """Exact area of the rounded region for d = 2."""
+        if self.dim != 2:
+            raise GeometryError(f"volume_2d requires d = 2, got d = {self.dim}")
+        w, h = self._core.extents
+        return float(w * h + 2.0 * self._delta * (w + h) + math.pi * self._delta**2)
+
+    def fringe_volume_2d(self) -> float:
+        """Area of the four corner slivers for d = 2: (4 − π)·δ²."""
+        if self.dim != 2:
+            raise GeometryError(f"fringe_volume_2d requires d = 2, got d = {self.dim}")
+        return float((4.0 - math.pi) * self._delta**2)
+
+    def __repr__(self) -> str:
+        return f"MinkowskiRegion(core={self._core!r}, delta={self._delta:g})"

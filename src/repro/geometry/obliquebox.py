@@ -1,0 +1,113 @@
+"""Eigenbasis-aligned boxes for the oblique-region strategy (OR).
+
+The OR strategy (Section IV-B of the paper) bounds the θ-region by a box
+aligned with the *ellipsoid axes* rather than the world axes and inflates
+it by δ on every side (Fig. 5).  Property 3 rotates candidates into the
+eigenbasis, where the box test becomes a plain per-coordinate interval
+check (Fig. 7, Eq. 20).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, GeometryError
+from repro.geometry.mbr import Rect
+from repro.geometry.transforms import EigenTransform
+
+__all__ = ["ObliqueBox"]
+
+_ArrayLike = Sequence[float] | np.ndarray
+
+
+class ObliqueBox:
+    """A box centred at q, aligned with the eigenvectors of Σ.
+
+    In eigenbasis coordinates y = Eᵀ(x − q), the box is
+    ``|y_i| ≤ half_widths[i]`` for every dimension.  For the OR strategy the
+    half widths are ``r_θ·√λᵢ + δ`` — the ellipsoid semi-axis plus the
+    query distance (Eq. 20 written in Σ-eigenvalue form).
+    """
+
+    __slots__ = ("_transform", "_half_widths")
+
+    def __init__(self, transform: EigenTransform, half_widths: _ArrayLike):
+        widths = np.asarray(half_widths, dtype=float)
+        if widths.shape != (transform.dim,):
+            raise DimensionMismatchError(transform.dim, widths.size, "half_widths")
+        if np.any(widths < 0) or not np.all(np.isfinite(widths)):
+            raise GeometryError(f"half widths must be finite and >= 0, got {widths}")
+        widths.setflags(write=False)
+        self._transform = transform
+        self._half_widths = widths
+
+    @classmethod
+    def for_range_query(
+        cls, center: _ArrayLike, sigma: np.ndarray, r_theta: float, delta: float
+    ) -> "ObliqueBox":
+        """The OR filtering box: θ-region semi-axes inflated by δ."""
+        if r_theta < 0 or delta < 0:
+            raise GeometryError(
+                f"r_theta and delta must be >= 0, got {r_theta}, {delta}"
+            )
+        transform = EigenTransform(center, sigma)
+        half_widths = r_theta * np.sqrt(transform.eigenvalues) + delta
+        return cls(transform, half_widths)
+
+    @property
+    def center(self) -> np.ndarray:
+        return self._transform.center
+
+    @property
+    def half_widths(self) -> np.ndarray:
+        return self._half_widths
+
+    @property
+    def dim(self) -> int:
+        return self._transform.dim
+
+    @property
+    def transform(self) -> EigenTransform:
+        return self._transform
+
+    def volume(self) -> float:
+        return float(np.prod(2.0 * self._half_widths))
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised membership test (Property 3 filtering)."""
+        y = self._transform.to_eigen(points)
+        return np.all(np.abs(y) <= self._half_widths, axis=1)
+
+    def contains_point(self, point: _ArrayLike) -> bool:
+        return bool(self.contains_points(np.asarray(point, dtype=float)[None, :])[0])
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    def corners(self) -> np.ndarray:
+        """All 2^d corner points in world coordinates."""
+        signs = np.array(list(itertools.product((-1.0, 1.0), repeat=self.dim)))
+        return self._transform.to_world(signs * self._half_widths)
+
+    def bounding_rect(self) -> Rect:
+        """Tight world-axis-aligned bounding box of the oblique box.
+
+        The extent along world axis j is Σᵢ |E_{ji}|·w_i, which avoids
+        enumerating 2^d corners in higher dimensions.
+        """
+        extents = np.abs(self._transform.basis) @ self._half_widths
+        return Rect.from_center(self.center, extents)
+
+    def __repr__(self) -> str:
+        return (
+            f"ObliqueBox(dim={self.dim}, "
+            f"half_widths={np.round(self._half_widths, 4).tolist()})"
+        )

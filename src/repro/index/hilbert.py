@@ -1,0 +1,97 @@
+"""d-dimensional Hilbert curve encoding (Skilling's algorithm, 2004).
+
+Used as an alternative bulk-loading order for the R*-tree: sorting points
+by their Hilbert index groups spatially close points into the same leaf,
+like STR but with better worst-case locality on skewed data.  The encoder
+is vectorised over points (loops run over bits and dimensions only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+__all__ = ["hilbert_index", "hilbert_order"]
+
+
+def hilbert_index(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Hilbert curve index of integer grid coordinates.
+
+    Parameters
+    ----------
+    coords:
+        (n, d) array of non-negative integers, each < 2**bits.
+    bits:
+        Bits of resolution per dimension.  ``d * bits`` must be <= 62 so
+        the result fits an int64.
+
+    Returns
+    -------
+    (n,) int64 array of positions along the d-dimensional Hilbert curve.
+    """
+    grid = np.asarray(coords)
+    if grid.ndim != 2 or grid.shape[0] == 0:
+        raise IndexError_(f"coords must be a non-empty (n, d) array, got {grid.shape}")
+    if not np.issubdtype(grid.dtype, np.integer):
+        raise IndexError_(f"coords must be integers, got dtype {grid.dtype}")
+    n, dim = grid.shape
+    if bits < 1 or dim * bits > 62:
+        raise IndexError_(
+            f"need 1 <= bits and dim*bits <= 62, got bits={bits}, dim={dim}"
+        )
+    if np.any(grid < 0) or np.any(grid >= (1 << bits)):
+        raise IndexError_(f"coordinates must lie in [0, 2^{bits})")
+
+    # Skilling's AxesToTranspose, vectorised over rows.
+    x = grid.astype(np.int64).T.copy()  # shape (d, n)
+    m = np.int64(1) << (bits - 1)
+
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(dim):
+            flag = (x[i] & q) != 0
+            # Where the bit is set: invert low bits of x[0];
+            # otherwise: exchange low bits of x[0] and x[i].
+            x[0] = np.where(flag, x[0] ^ p, x[0])
+            t = np.where(flag, 0, (x[0] ^ x[i]) & p)
+            x[0] ^= t
+            x[i] ^= t
+        q >>= 1
+
+    # Gray encode.
+    for i in range(1, dim):
+        x[i] ^= x[i - 1]
+    t = np.zeros(n, dtype=np.int64)
+    q = m
+    while q > 1:
+        t = np.where((x[dim - 1] & q) != 0, t ^ (q - 1), t)
+        q >>= 1
+    for i in range(dim):
+        x[i] ^= t
+
+    # Interleave the transposed bits, most significant first.
+    index = np.zeros(n, dtype=np.int64)
+    for bit in range(bits - 1, -1, -1):
+        for i in range(dim):
+            index = (index << 1) | ((x[i] >> bit) & 1)
+    return index
+
+
+def hilbert_order(points: np.ndarray, bits: int = 10) -> np.ndarray:
+    """Argsort of float points along the Hilbert curve.
+
+    Points are normalized into the ``2^bits`` grid spanned by their own
+    bounding box before encoding; degenerate dimensions collapse to cell 0.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise IndexError_(f"points must be a non-empty (n, d) array, got {pts.shape}")
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    span[span == 0] = 1.0
+    cells = np.minimum(
+        ((pts - lo) / span * (1 << bits)).astype(np.int64), (1 << bits) - 1
+    )
+    return np.argsort(hilbert_index(cells, bits), kind="stable")

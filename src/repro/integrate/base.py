@@ -1,0 +1,55 @@
+"""Integrator interface shared by Phase-3 evaluators."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import IntegrationError
+from repro.gaussian.distribution import Gaussian
+from repro.integrate.result import IntegrationResult
+
+__all__ = ["ProbabilityIntegrator"]
+
+
+class ProbabilityIntegrator(abc.ABC):
+    """Evaluates P(‖x − point‖ ≤ delta) for x ~ N(q, Σ).
+
+    Implementations must be deterministic given their construction
+    arguments (stochastic ones take an explicit seed), so that experiments
+    are reproducible run to run.
+    """
+
+    #: Short identifier used in reports and IntegrationResult.method.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def qualification_probability(
+        self, gaussian: Gaussian, point: np.ndarray, delta: float
+    ) -> IntegrationResult:
+        """Estimate the probability mass of ``gaussian`` in ball(point, delta)."""
+
+    def qualification_probabilities(
+        self, gaussian: Gaussian, points: np.ndarray, delta: float
+    ) -> list[IntegrationResult]:
+        """Evaluate a batch of candidate objects.
+
+        The default loops over rows; subclasses override when they can
+        share work across candidates (e.g. one common sample set).
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        return [
+            self.qualification_probability(gaussian, row, delta) for row in pts
+        ]
+
+    @staticmethod
+    def _validate(gaussian: Gaussian, point: np.ndarray, delta: float) -> np.ndarray:
+        p = np.asarray(point, dtype=float)
+        if p.shape != (gaussian.dim,):
+            raise IntegrationError(
+                f"point shape {p.shape} does not match query dimension {gaussian.dim}"
+            )
+        if not np.isfinite(delta) or delta < 0:
+            raise IntegrationError(f"delta must be finite and >= 0, got {delta}")
+        return p

@@ -1,0 +1,52 @@
+"""Plain Monte Carlo over the integration sphere.
+
+The "standard Monte Carlo method" the paper contrasts importance sampling
+against: draw points uniformly inside ball(o, δ), average the Gaussian
+density there, and multiply by the ball volume.  Converges slower than the
+hit-ratio estimator whenever the density varies strongly across the ball —
+exactly the regime of the paper's queries — which is why the paper (and
+the default engine here) prefers importance sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IntegrationError
+from repro.gaussian.distribution import Gaussian
+from repro.geometry.sphere import Sphere
+from repro.integrate.base import ProbabilityIntegrator
+from repro.integrate.result import IntegrationResult
+
+__all__ = ["MonteCarloIntegrator"]
+
+
+class MonteCarloIntegrator(ProbabilityIntegrator):
+    """Uniform-in-ball sampling: estimate = volume · mean density."""
+
+    name = "montecarlo"
+
+    def __init__(self, n_samples: int = 100_000, seed: int = 0):
+        if n_samples < 2:
+            raise IntegrationError(f"n_samples must be >= 2, got {n_samples}")
+        self.n_samples = int(n_samples)
+        self._rng = np.random.default_rng(seed)
+
+    def qualification_probability(
+        self, gaussian: Gaussian, point: np.ndarray, delta: float
+    ) -> IntegrationResult:
+        p = self._validate(gaussian, point, delta)
+        if delta == 0.0:
+            return IntegrationResult(0.0, 0.0, 0, self.name)
+        ball = Sphere(p, delta)
+        samples = ball.sample_interior(self.n_samples, self._rng)
+        densities = gaussian.pdf(samples)
+        volume = ball.volume()
+        estimate = float(volume * densities.mean())
+        stderr = float(volume * densities.std(ddof=1) / np.sqrt(self.n_samples))
+        return IntegrationResult(
+            estimate=min(estimate, 1.0),
+            stderr=stderr,
+            n_samples=self.n_samples,
+            method=self.name,
+        )

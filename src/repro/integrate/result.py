@@ -1,0 +1,60 @@
+"""Common result type for probability estimates."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import IntegrationError
+
+__all__ = ["IntegrationResult"]
+
+#: Two-sided z value for the default 95 % confidence interval.
+_Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class IntegrationResult:
+    """A probability estimate with its uncertainty.
+
+    Attributes
+    ----------
+    estimate:
+        Estimated probability in [0, 1].
+    stderr:
+        Standard error of the estimate (0 for exact evaluators).
+    n_samples:
+        Number of samples spent (0 for exact evaluators).
+    method:
+        Short name of the producing integrator, for reporting.
+    """
+
+    estimate: float
+    stderr: float
+    n_samples: int
+    method: str
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.estimate):
+            raise IntegrationError(f"non-finite probability estimate {self.estimate}")
+        if not math.isfinite(self.stderr) or self.stderr < 0:
+            raise IntegrationError(f"invalid standard error {self.stderr}")
+        if self.n_samples < 0:
+            raise IntegrationError(f"negative sample count {self.n_samples}")
+
+    def confidence_interval(self, z: float = _Z_95) -> tuple[float, float]:
+        """(lower, upper) normal-approximation CI, clipped to [0, 1]."""
+        return (
+            max(0.0, self.estimate - z * self.stderr),
+            min(1.0, self.estimate + z * self.stderr),
+        )
+
+    def meets_threshold(self, theta: float) -> bool:
+        """Point-estimate decision rule used by Phase 3: estimate >= θ."""
+        return self.estimate >= theta
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.6f} ± {self.stderr:.2e} "
+            f"({self.method}, n={self.n_samples})"
+        )

@@ -1,0 +1,22 @@
+"""Robot localization substrate (the paper's motivating application).
+
+Example 1 of the paper shows a moving robot whose pose estimate at each
+step is a Gaussian produced by probabilistic localization.  This package
+provides that producer:
+
+- :class:`~repro.robotics.kalman.KalmanFilter` — a from-scratch linear
+  Kalman filter (predict/update with full covariance propagation);
+- :class:`~repro.robotics.ekf.RangeBearingEKF` — an extended Kalman
+  filter observing known landmarks through the nonlinear range-bearing
+  model (the localization setup of the paper's robotics reference);
+- :class:`~repro.robotics.trajectory.RobotSimulator` — a 2-D robot with
+  noisy odometry and sparse position fixes, whose filtered trajectory is a
+  sequence of :class:`repro.Gaussian` poses ready to be used as query
+  objects.
+"""
+
+from repro.robotics.kalman import KalmanFilter
+from repro.robotics.ekf import RangeBearingEKF, wrap_angle
+from repro.robotics.trajectory import PoseEstimate, RobotSimulator
+
+__all__ = ["KalmanFilter", "RangeBearingEKF", "wrap_angle", "RobotSimulator", "PoseEstimate"]

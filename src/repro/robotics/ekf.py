@@ -1,0 +1,152 @@
+"""An extended Kalman filter with landmark range-bearing measurements.
+
+The linear filter of :mod:`repro.robotics.kalman` covers GPS-style direct
+position fixes; real robot localization (the paper's reference [22])
+usually observes *landmarks* — range and bearing to known beacons — a
+nonlinear measurement model.  This EKF linearizes it analytically:
+
+    h(x) = [ ‖m − x‖, atan2(m_y − x_y, m_x − x_x) ]   per landmark m,
+
+with the standard Jacobian.  The belief remains a Gaussian, ready to be
+used as a probabilistic-range-query object.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.gaussian.distribution import Gaussian
+
+__all__ = ["RangeBearingEKF", "wrap_angle"]
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap to (−π, π] — innovation angles must not jump by 2π."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+class RangeBearingEKF:
+    """EKF over a 2-D position state with range-bearing landmark updates.
+
+    The motion model is velocity integration (as in the linear filter);
+    only the measurement update is nonlinear.
+
+    Parameters
+    ----------
+    landmarks:
+        (m, 2) known landmark positions.
+    process_noise_std:
+        Per-step position diffusion (standard deviation).
+    range_noise_std, bearing_noise_std:
+        Measurement noise standard deviations.
+    """
+
+    def __init__(
+        self,
+        landmarks: np.ndarray,
+        *,
+        process_noise_std: float = 0.5,
+        range_noise_std: float = 0.5,
+        bearing_noise_std: float = 0.05,
+    ):
+        marks = np.asarray(landmarks, dtype=float)
+        if marks.ndim != 2 or marks.shape[1] != 2 or marks.shape[0] == 0:
+            raise ReproError(
+                f"landmarks must be a non-empty (m, 2) array, got {marks.shape}"
+            )
+        if min(process_noise_std, range_noise_std, bearing_noise_std) <= 0:
+            raise ReproError("noise standard deviations must be > 0")
+        self.landmarks = marks
+        self.process_noise = process_noise_std**2 * np.eye(2)
+        self.range_var = range_noise_std**2
+        self.bearing_var = bearing_noise_std**2
+        self._mean: np.ndarray | None = None
+        self._cov: np.ndarray | None = None
+
+    def initialize(self, mean, covariance) -> None:
+        m = np.asarray(mean, dtype=float)
+        cov = np.asarray(covariance, dtype=float)
+        if m.shape != (2,) or cov.shape != (2, 2):
+            raise ReproError(
+                f"mean must be (2,) and covariance (2, 2), got {m.shape}, {cov.shape}"
+            )
+        self._mean = m.copy()
+        self._cov = cov.copy()
+
+    def _require_initialized(self) -> None:
+        if self._mean is None:
+            raise ReproError("RangeBearingEKF used before initialize()")
+
+    def belief(self) -> Gaussian:
+        self._require_initialized()
+        return Gaussian(self._mean, self._cov)
+
+    # ------------------------------------------------------------------
+    # Recursion
+    # ------------------------------------------------------------------
+
+    def predict(self, velocity) -> None:
+        """Dead-reckon one step: x ← x + v, P ← P + Q."""
+        self._require_initialized()
+        v = np.asarray(velocity, dtype=float)
+        if v.shape != (2,):
+            raise ReproError(f"velocity must be a 2-vector, got {v.shape}")
+        self._mean = self._mean + v
+        self._cov = self._cov + self.process_noise
+
+    def measurement_model(self, position, landmark_index: int) -> np.ndarray:
+        """h(x): expected [range, bearing] to one landmark."""
+        x = np.asarray(position, dtype=float)
+        mark = self.landmarks[landmark_index]
+        gap = mark - x
+        return np.array([float(np.linalg.norm(gap)), math.atan2(gap[1], gap[0])])
+
+    def _jacobian(self, landmark_index: int) -> np.ndarray:
+        mark = self.landmarks[landmark_index]
+        gap = mark - self._mean
+        q = float(gap @ gap)
+        r = math.sqrt(q)
+        if r < 1e-9:
+            raise ReproError(
+                f"estimate coincides with landmark {landmark_index}; "
+                "the bearing Jacobian is undefined there"
+            )
+        # d range / dx = -(gap)/r ; d bearing / dx = [gap_y, -gap_x] / q
+        return np.array(
+            [[-gap[0] / r, -gap[1] / r], [gap[1] / q, -gap[0] / q]]
+        )
+
+    def update(self, landmark_index: int, measurement) -> None:
+        """Fuse one [range, bearing] observation of a known landmark."""
+        self._require_initialized()
+        if not 0 <= landmark_index < self.landmarks.shape[0]:
+            raise ReproError(f"unknown landmark index {landmark_index}")
+        z = np.asarray(measurement, dtype=float)
+        if z.shape != (2,):
+            raise ReproError(f"measurement must be [range, bearing], got {z.shape}")
+        predicted = self.measurement_model(self._mean, landmark_index)
+        innovation = z - predicted
+        innovation[1] = wrap_angle(float(innovation[1]))
+        jac = self._jacobian(landmark_index)
+        noise = np.diag([self.range_var, self.bearing_var])
+        innovation_cov = jac @ self._cov @ jac.T + noise
+        gain = self._cov @ jac.T @ np.linalg.inv(innovation_cov)
+        self._mean = self._mean + gain @ innovation
+        factor = np.eye(2) - gain @ jac
+        # Joseph form for numerical symmetry.
+        self._cov = factor @ self._cov @ factor.T + gain @ noise @ gain.T
+
+    def observe(self, true_position, landmark_index: int, rng) -> np.ndarray:
+        """Simulate a noisy observation from the true position."""
+        clean = self.measurement_model(true_position, landmark_index)
+        noisy = clean + rng.normal(
+            0.0, [math.sqrt(self.range_var), math.sqrt(self.bearing_var)]
+        )
+        noisy[1] = wrap_angle(float(noisy[1]))
+        return noisy

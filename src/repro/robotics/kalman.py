@@ -1,0 +1,152 @@
+"""A from-scratch linear Kalman filter.
+
+The textbook predict/update recursion (Thrun, Burgard, Fox — the paper's
+reference [22] — chapter 3):
+
+    predict:  x ← A x + B u,            P ← A P Aᵀ + Q
+    update:   K = P Hᵀ (H P Hᵀ + R)⁻¹
+              x ← x + K (z − H x),      P ← (I − K H) P
+
+The filter state (x, P) *is* the Gaussian query object of the paper: mean
+q and covariance Σ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.gaussian.distribution import Gaussian
+
+__all__ = ["KalmanFilter"]
+
+
+def _square(matrix: np.ndarray, name: str, size: int | None = None) -> np.ndarray:
+    mat = np.asarray(matrix, dtype=float)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ReproError(f"{name} must be square, got shape {mat.shape}")
+    if size is not None and mat.shape[0] != size:
+        raise ReproError(f"{name} must be {size}x{size}, got {mat.shape[0]}")
+    return mat
+
+
+class KalmanFilter:
+    """Linear-Gaussian state estimator.
+
+    Parameters
+    ----------
+    transition:
+        State transition matrix A (n × n).
+    process_noise:
+        Process noise covariance Q (n × n, positive semidefinite).
+    observation:
+        Observation matrix H (m × n).
+    observation_noise:
+        Measurement noise covariance R (m × m, positive definite).
+    control:
+        Optional control matrix B (n × k).
+    """
+
+    def __init__(
+        self,
+        transition: np.ndarray,
+        process_noise: np.ndarray,
+        observation: np.ndarray,
+        observation_noise: np.ndarray,
+        control: np.ndarray | None = None,
+    ):
+        self.transition = _square(transition, "transition")
+        n = self.transition.shape[0]
+        self.process_noise = _square(process_noise, "process_noise", n)
+        obs = np.asarray(observation, dtype=float)
+        if obs.ndim != 2 or obs.shape[1] != n:
+            raise ReproError(
+                f"observation must have shape (m, {n}), got {obs.shape}"
+            )
+        self.observation = obs
+        self.observation_noise = _square(
+            observation_noise, "observation_noise", obs.shape[0]
+        )
+        if control is not None:
+            ctrl = np.asarray(control, dtype=float)
+            if ctrl.ndim != 2 or ctrl.shape[0] != n:
+                raise ReproError(
+                    f"control must have shape ({n}, k), got {ctrl.shape}"
+                )
+            self.control = ctrl
+        else:
+            self.control = None
+        self._mean: np.ndarray | None = None
+        self._covariance: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+
+    def initialize(self, mean: np.ndarray, covariance: np.ndarray) -> None:
+        """Set the initial belief N(mean, covariance)."""
+        m = np.asarray(mean, dtype=float)
+        n = self.transition.shape[0]
+        if m.shape != (n,):
+            raise ReproError(f"mean must have shape ({n},), got {m.shape}")
+        self._mean = m.copy()
+        self._covariance = _square(covariance, "covariance", n).copy()
+
+    @property
+    def state(self) -> tuple[np.ndarray, np.ndarray]:
+        self._require_initialized()
+        return self._mean.copy(), self._covariance.copy()
+
+    def belief(self) -> Gaussian:
+        """The current belief as a :class:`Gaussian` (usable as a PRQ query)."""
+        self._require_initialized()
+        return Gaussian(self._mean, self._covariance)
+
+    def _require_initialized(self) -> None:
+        if self._mean is None:
+            raise ReproError("KalmanFilter used before initialize()")
+
+    # ------------------------------------------------------------------
+    # Recursion
+    # ------------------------------------------------------------------
+
+    def predict(self, control_input: np.ndarray | None = None) -> None:
+        """Time update: propagate mean and covariance one step."""
+        self._require_initialized()
+        self._mean = self.transition @ self._mean
+        if control_input is not None:
+            if self.control is None:
+                raise ReproError("filter was built without a control matrix")
+            u = np.asarray(control_input, dtype=float)
+            if u.shape != (self.control.shape[1],):
+                raise ReproError(
+                    f"control input must have shape ({self.control.shape[1]},), "
+                    f"got {u.shape}"
+                )
+            self._mean = self._mean + self.control @ u
+        self._covariance = (
+            self.transition @ self._covariance @ self.transition.T
+            + self.process_noise
+        )
+
+    def update(self, measurement: np.ndarray) -> None:
+        """Measurement update with observation z."""
+        self._require_initialized()
+        z = np.asarray(measurement, dtype=float)
+        m = self.observation.shape[0]
+        if z.shape != (m,):
+            raise ReproError(f"measurement must have shape ({m},), got {z.shape}")
+        innovation = z - self.observation @ self._mean
+        innovation_cov = (
+            self.observation @ self._covariance @ self.observation.T
+            + self.observation_noise
+        )
+        gain = self._covariance @ self.observation.T @ np.linalg.inv(innovation_cov)
+        self._mean = self._mean + gain @ innovation
+        identity = np.eye(self.transition.shape[0])
+        # Joseph form keeps the covariance symmetric positive definite.
+        factor = identity - gain @ self.observation
+        self._covariance = (
+            factor @ self._covariance @ factor.T
+            + gain @ self.observation_noise @ gain.T
+        )

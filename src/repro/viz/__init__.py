@@ -1,0 +1,25 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+The evaluation figures of the paper are geometric: integration regions
+(Figs. 13–16) and radial mass curves (Fig. 17).  This package regenerates
+them as standalone SVG documents using only the standard library:
+
+- :mod:`repro.viz.svg` — a minimal SVG document builder;
+- :mod:`repro.viz.figures` — the figure constructors
+  (:func:`render_regions_figure`, :func:`render_radial_figure`,
+  :func:`render_road_network`).
+"""
+
+from repro.viz.svg import SvgDocument
+from repro.viz.figures import (
+    render_radial_figure,
+    render_regions_figure,
+    render_road_network,
+)
+
+__all__ = [
+    "SvgDocument",
+    "render_regions_figure",
+    "render_radial_figure",
+    "render_road_network",
+]

@@ -1,0 +1,210 @@
+"""SVG constructors for the paper's figures.
+
+- :func:`render_regions_figure` — Figs. 13–16: the θ-region ellipse, the
+  RR Minkowski region (a rounded rectangle), the OR oblique box and the
+  BF annulus, all to scale for a given γ;
+- :func:`render_radial_figure` — Fig. 17: radial mass curves per
+  dimension with axes and a legend;
+- :func:`render_road_network` — a view of the synthetic Long-Beach-like
+  dataset (the paper describes the real one in §V-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bench.harness import paper_sigma
+from repro.catalog.rtheta import ExactRThetaLookup
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.strategies import (
+    BoundingFunctionStrategy,
+    ObliqueStrategy,
+    RectilinearStrategy,
+)
+from repro.errors import ReproError
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.radial import radial_cdf
+from repro.viz.svg import SvgDocument
+
+__all__ = [
+    "render_regions_figure",
+    "render_radial_figure",
+    "render_road_network",
+]
+
+_SERIES_COLORS = ["#1965b0", "#dc050c", "#4eb265", "#f7a941", "#882e72"]
+
+
+def render_regions_figure(
+    gamma: float,
+    *,
+    delta: float = 25.0,
+    theta: float = 0.01,
+    canvas: float = 520.0,
+) -> SvgDocument:
+    """Figs. 13–16: the three integration regions for one γ, to scale."""
+    gaussian = Gaussian([0.0, 0.0], paper_sigma(gamma))
+    query = ProbabilisticRangeQuery(gaussian, delta, theta)
+    rr = RectilinearStrategy()
+    oblique = ObliqueStrategy()
+    bf = BoundingFunctionStrategy()
+    for strategy in (rr, oblique, bf):
+        strategy.prepare(query)
+
+    # World-to-canvas: fit the widest region with a margin.
+    extent = max(
+        float(np.max(np.abs(rr.search_rect().highs))),
+        bf.alpha_upper or 0.0,
+        float(np.max(np.linalg.norm(oblique.box.corners(), axis=1))),
+    )
+    scale = (canvas / 2.0 - 30.0) / extent
+    mid = canvas / 2.0
+
+    def to_canvas(x: float, y: float) -> tuple[float, float]:
+        return (mid + x * scale, mid - y * scale)
+
+    doc = SvgDocument(canvas, canvas)
+    doc.rect(0, 0, canvas, canvas, fill="white")
+
+    # RR region: rounded rectangle (the Minkowski sum of Fig. 4).
+    core = rr.region.core
+    x0, y0 = to_canvas(core.lows[0] - delta, core.highs[1] + delta)
+    doc.rect(
+        x0,
+        y0,
+        (core.extents[0] + 2 * delta) * scale,
+        (core.extents[1] + 2 * delta) * scale,
+        rx=delta * scale,
+        fill="none",
+        stroke="#1965b0",
+        stroke_width=2,
+    )
+
+    # OR region: the oblique box as a polygon (corner order around hull).
+    corners = oblique.box.corners()
+    hull_order = np.argsort(np.arctan2(corners[:, 1], corners[:, 0]))
+    doc.polygon(
+        [to_canvas(float(x), float(y)) for x, y in corners[hull_order]],
+        fill="none",
+        stroke="#4eb265",
+        stroke_width=2,
+    )
+
+    # BF region: the annulus between alpha_perp and alpha_par.
+    if bf.alpha_upper is not None:
+        doc.circle(
+            mid, mid, bf.alpha_upper * scale,
+            fill="none", stroke="#dc050c", stroke_width=2,
+        )
+    if bf.alpha_lower is not None:
+        doc.circle(
+            mid, mid, bf.alpha_lower * scale,
+            fill="none", stroke="#dc050c", stroke_width=2,
+            stroke_dasharray="6 4",
+        )
+
+    # The theta-region ellipse itself (shaded, like the paper's figures).
+    r_theta = ExactRThetaLookup(2).r_theta(theta)
+    semi_axes = r_theta * np.sqrt(gaussian.eigenvalues)
+    major = gaussian.basis[:, 0]
+    angle = -math.degrees(math.atan2(major[1], major[0]))  # canvas y flips
+    doc.ellipse(
+        mid,
+        mid,
+        float(semi_axes[0]) * scale,
+        float(semi_axes[1]) * scale,
+        rotation_degrees=angle,
+        fill="#cccccc",
+        fill_opacity=0.6,
+        stroke="#555555",
+    )
+
+    doc.text(10, 18, f"gamma = {gamma:g}, delta = {delta:g}, theta = {theta:g}",
+             font_size=13)
+    doc.text(10, canvas - 34, "RR rounded box (blue), OR oblique box (green)",
+             font_size=11)
+    doc.text(10, canvas - 18,
+             "BF annulus (red; dashed = accept radius), theta-region (grey)",
+             font_size=11)
+    return doc
+
+
+def render_radial_figure(
+    dims=(2, 3, 5, 9, 15),
+    *,
+    max_radius: float = 6.0,
+    width: float = 560.0,
+    height: float = 400.0,
+) -> SvgDocument:
+    """Fig. 17: probability of existence within a radius, one curve per d."""
+    if max_radius <= 0:
+        raise ReproError(f"max_radius must be > 0, got {max_radius}")
+    margin = 48.0
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    doc = SvgDocument(width, height)
+    doc.rect(0, 0, width, height, fill="white")
+    doc.rect(margin, margin, plot_w, plot_h, fill="none", stroke="#333333")
+
+    def to_canvas(radius: float, mass: float) -> tuple[float, float]:
+        return (
+            margin + radius / max_radius * plot_w,
+            margin + (1.0 - mass) * plot_h,
+        )
+
+    # Axis ticks.
+    for i in range(7):
+        radius = max_radius * i / 6.0
+        x, _ = to_canvas(radius, 0.0)
+        doc.line(x, margin + plot_h, x, margin + plot_h + 5, stroke="#333333")
+        doc.text(x - 8, margin + plot_h + 18, f"{radius:g}", font_size=10)
+    for i in range(6):
+        mass = i / 5.0
+        _, y = to_canvas(0.0, mass)
+        doc.line(margin - 5, y, margin, y, stroke="#333333")
+        doc.text(margin - 34, y + 4, f"{mass:.1f}", font_size=10)
+    doc.text(width / 2 - 18, height - 8, "Radius", font_size=12)
+    doc.text(6, margin - 14, "Probability of existence", font_size=12)
+
+    radii = np.linspace(0.0, max_radius, 121)
+    for color, dim in zip(_SERIES_COLORS, dims):
+        masses = radial_cdf(dim, radii)
+        doc.polyline(
+            [to_canvas(float(r), float(m)) for r, m in zip(radii, masses)],
+            stroke=color,
+            stroke_width=2,
+        )
+        # Legend entry.
+        slot = list(dims).index(dim)
+        y = margin + 16 + slot * 16
+        doc.line(margin + plot_w - 92, y - 4, margin + plot_w - 72, y - 4,
+                 stroke=color, stroke_width=2)
+        doc.text(margin + plot_w - 66, y, f"{dim}D", font_size=11)
+    return doc
+
+
+def render_road_network(
+    midpoints: np.ndarray,
+    *,
+    canvas: float = 600.0,
+    max_points: int = 20_000,
+    seed: int = 0,
+) -> SvgDocument:
+    """A dot plot of the synthetic road dataset (context for §V-A)."""
+    pts = np.asarray(midpoints, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ReproError(f"midpoints must be (n, 2), got {pts.shape}")
+    if pts.shape[0] > max_points:
+        rng = np.random.default_rng(seed)
+        pts = pts[rng.choice(pts.shape[0], max_points, replace=False)]
+    lo = pts.min(axis=0)
+    span = float(np.max(pts.max(axis=0) - lo)) or 1.0
+    scale = (canvas - 20.0) / span
+    doc = SvgDocument(canvas, canvas)
+    doc.rect(0, 0, canvas, canvas, fill="white")
+    for x, y in pts:
+        cx = 10.0 + (x - lo[0]) * scale
+        cy = canvas - 10.0 - (y - lo[1]) * scale
+        doc.circle(cx, cy, 0.6, fill="#1965b0", fill_opacity=0.5)
+    return doc

@@ -1,0 +1,150 @@
+"""A minimal SVG document builder (standard library only).
+
+Just enough of SVG for the figures this library draws: basic shapes,
+polylines/polygons, rotated ellipses, text, and groups.  Coordinates are
+taken as-is; figure code is responsible for any world-to-canvas mapping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.errors import ReproError
+
+__all__ = ["SvgDocument"]
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting for attribute values."""
+    if isinstance(value, float):
+        text = f"{value:.3f}".rstrip("0").rstrip(".")
+        return text if text not in ("-0", "") else "0"
+    return str(value)
+
+
+class SvgDocument:
+    """An SVG scene assembled element by element.
+
+    Parameters
+    ----------
+    width, height:
+        Canvas size in user units (also the viewBox size).
+    """
+
+    def __init__(self, width: float, height: float):
+        if width <= 0 or height <= 0:
+            raise ReproError(f"canvas must be positive, got {width}x{height}")
+        self.width = float(width)
+        self.height = float(height)
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Element helpers
+    # ------------------------------------------------------------------
+
+    def _attrs(self, mapping: dict[str, object]) -> str:
+        parts = []
+        for key, value in mapping.items():
+            if value is None:
+                continue
+            name = key.replace("_", "-")
+            rendered = _fmt(value) if isinstance(value, (int, float)) else str(value)
+            parts.append(f"{name}={quoteattr(rendered)}")
+        return " ".join(parts)
+
+    def raw(self, element: str) -> None:
+        """Append a pre-rendered element string."""
+        self._elements.append(element)
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        *,
+        rx: float = 0.0,
+        **style: object,
+    ) -> None:
+        if width < 0 or height < 0:
+            raise ReproError(f"rect size must be >= 0, got {width}x{height}")
+        attrs = self._attrs(
+            {"x": x, "y": y, "width": width, "height": height,
+             "rx": rx or None, **style}
+        )
+        self.raw(f"<rect {attrs}/>")
+
+    def circle(self, cx: float, cy: float, r: float, **style: object) -> None:
+        if r < 0:
+            raise ReproError(f"circle radius must be >= 0, got {r}")
+        self.raw(f"<circle {self._attrs({'cx': cx, 'cy': cy, 'r': r, **style})}/>")
+
+    def ellipse(
+        self,
+        cx: float,
+        cy: float,
+        rx: float,
+        ry: float,
+        *,
+        rotation_degrees: float = 0.0,
+        **style: object,
+    ) -> None:
+        if rx < 0 or ry < 0:
+            raise ReproError(f"ellipse radii must be >= 0, got {rx}, {ry}")
+        transform = (
+            f"rotate({_fmt(rotation_degrees)} {_fmt(cx)} {_fmt(cy)})"
+            if rotation_degrees
+            else None
+        )
+        attrs = self._attrs(
+            {"cx": cx, "cy": cy, "rx": rx, "ry": ry, "transform": transform, **style}
+        )
+        self.raw(f"<ellipse {attrs}/>")
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float, **style: object
+    ) -> None:
+        self.raw(
+            f"<line {self._attrs({'x1': x1, 'y1': y1, 'x2': x2, 'y2': y2, **style})}/>"
+        )
+
+    def _points_attr(self, points) -> str:
+        coords = [f"{_fmt(float(x))},{_fmt(float(y))}" for x, y in points]
+        if len(coords) < 2:
+            raise ReproError("polyline/polygon needs at least 2 points")
+        return " ".join(coords)
+
+    def polyline(self, points, **style: object) -> None:
+        attrs = self._attrs({"points": self._points_attr(points), "fill": "none",
+                             **style})
+        self.raw(f"<polyline {attrs}/>")
+
+    def polygon(self, points, **style: object) -> None:
+        attrs = self._attrs({"points": self._points_attr(points), **style})
+        self.raw(f"<polygon {attrs}/>")
+
+    def text(
+        self, x: float, y: float, content: str, *, font_size: float = 12.0,
+        **style: object,
+    ) -> None:
+        attrs = self._attrs({"x": x, "y": y, "font-size": font_size, **style})
+        self.raw(f"<text {attrs}>{escape(content)}</text>")
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        header = (
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">'
+        )
+        body = "\n".join(f"  {element}" for element in self._elements)
+        return f"{header}\n{body}\n</svg>\n"
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.write_text(self.to_string())
+        return target

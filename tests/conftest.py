@@ -1,0 +1,31 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaussian.distribution import Gaussian
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_sigma_10() -> np.ndarray:
+    """The paper's default 2-D covariance (Eq. 34 with γ = 10)."""
+    root3 = np.sqrt(3.0)
+    return 10.0 * np.array([[7.0, 2.0 * root3], [2.0 * root3, 3.0]])
+
+
+@pytest.fixture
+def paper_gaussian(paper_sigma_10) -> Gaussian:
+    return Gaussian([500.0, 500.0], paper_sigma_10)
+
+
+def random_spd(rng: np.random.Generator, dim: int, *, scale: float = 1.0) -> np.ndarray:
+    """A random symmetric positive-definite matrix for property tests."""
+    a = rng.standard_normal((dim, dim))
+    return scale * (a @ a.T + dim * np.eye(dim) * 0.05)

@@ -1,0 +1,150 @@
+"""Tests for the benchmark harness and experiment runners (small scales)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    SPEC_ORDER,
+    pseudo_feedback_gaussian,
+    region_geometry,
+    run_fig17,
+    run_strategy_grid,
+    run_table3,
+)
+from repro.bench.harness import ExperimentTable, format_table, paper_sigma
+from repro.core.database import SpatialDatabase
+from repro.datasets.synthetic import clustered_points
+from repro.gaussian.radial import radial_cdf
+
+
+class TestPaperSigma:
+    def test_shape_and_eigenvalues(self):
+        sigma = paper_sigma(10.0)
+        np.testing.assert_allclose(np.linalg.eigvalsh(sigma), [10.0, 90.0], rtol=1e-12)
+
+    def test_tilt_is_30_degrees(self):
+        sigma = paper_sigma(1.0)
+        _, vecs = np.linalg.eigh(sigma)
+        major = vecs[:, 1]  # largest eigenvalue
+        angle = np.degrees(np.arctan2(major[1], major[0]))
+        assert angle % 180 == pytest.approx(30.0, abs=1e-6)
+
+
+class TestTableFormatting:
+    def test_add_row_validates_width(self):
+        table = ExperimentTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_alignment(self):
+        table = ExperimentTable("Title", ["col", "value"])
+        table.add_row("x", 1.5)
+        table.add_row("longer", 22.25)
+        table.note("a note")
+        text = table.render()
+        assert "Title" in text
+        assert "# a note" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:4]}) == 1  # header aligned
+
+    def test_format_table_cell_styles(self):
+        text = format_table("t", ["v"], [[0.000123], [1234.5], [3.25], [0]])
+        assert "0.000123" in text
+        assert "1234" in text  # large values rendered without decimals
+
+
+class TestRegionGeometry:
+    def test_paper_fig13_rr_labels(self):
+        g = region_geometry(10.0)
+        assert g["rr_half_width_x"] == pytest.approx(23.4, abs=0.1)
+        assert g["rr_half_width_y"] == pytest.approx(15.3, abs=0.1)
+
+    def test_paper_fig15_fig16_rr_labels(self):
+        g1 = region_geometry(1.0)
+        assert g1["rr_half_width_x"] == pytest.approx(7.4, abs=0.1)
+        assert g1["rr_half_width_y"] == pytest.approx(4.8, abs=0.1)
+        g100 = region_geometry(100.0)
+        assert g100["rr_half_width_x"] == pytest.approx(74.0, abs=0.2)
+        assert g100["rr_half_width_y"] == pytest.approx(48.4, abs=0.2)
+
+    def test_all_region_smallest(self):
+        g = region_geometry(10.0)
+        assert g["all_area"] <= min(g["rr_area"], g["or_area"], g["bf_area"]) * 1.02
+
+    def test_combination_gain_grows_with_gamma(self):
+        # Figs. 15/16: combining strategies helps little for gamma=1 and a
+        # lot for gamma=100.
+        gain = {}
+        for gamma in (1.0, 100.0):
+            g = region_geometry(gamma)
+            gain[gamma] = min(g["rr_area"], g["bf_area"]) / g["all_area"]
+        assert gain[100.0] > gain[1.0]
+
+
+class TestStrategyGrid:
+    @pytest.fixture(scope="class")
+    def small_db(self):
+        return SpatialDatabase(clustered_points(6_000, 2, seed=11))
+
+    def test_grid_runs_and_orders(self, small_db):
+        result = run_strategy_grid(
+            gammas=(10.0,),
+            n_trials=2,
+            n_samples=500,
+            seed=1,
+            database=small_db,
+        )
+        counts = {spec: result.candidates[(10.0, spec)] for spec in SPEC_ORDER}
+        # ALL must be the tightest filter; every combo at least as tight as
+        # its components (the paper's headline finding).
+        assert counts["all"] <= min(counts.values()) + 1e-9
+        assert counts["rr+bf"] <= min(counts["rr"], counts["bf"]) + 1e-9
+        assert counts["bf+or"] <= counts["bf"] + 1e-9
+        table = result.table_candidates().render()
+        assert "ANS" in table
+        time_table = result.table_time().render()
+        assert "Table I" in time_table
+
+
+class TestFig17:
+    def test_table_and_anchor_values(self):
+        table, curves = run_fig17()
+        assert set(curves) == {2, 3, 5, 9, 15}
+        assert curves[2][0] == 0.0
+        # Curse of dimensionality: at every radius, higher dim => less mass.
+        for i in range(1, 25):
+            values = [curves[d][i] for d in (2, 3, 5, 9, 15)]
+            assert all(a >= b for a, b in zip(values, values[1:]))
+        assert "Fig. 17" in table.render()
+
+    def test_matches_radial_cdf(self):
+        _, curves = run_fig17(dims=(2,), radii=np.array([0.5, 1.0, 2.0]))
+        np.testing.assert_allclose(
+            curves[2], radial_cdf(2, np.array([0.5, 1.0, 2.0]))
+        )
+
+
+class TestTable3SmallScale:
+    def test_pseudo_feedback_covariance(self):
+        pts = clustered_points(3_000, 9, n_clusters=15, spread=1.0, high=10.0, seed=3)
+        db = SpatialDatabase(pts)
+        gaussian = pseudo_feedback_gaussian(pts, db, query_index=0, k=20)
+        assert gaussian.dim == 9
+        # kappa regularization keeps the covariance well conditioned.
+        assert gaussian.condition_number < 1e6
+        np.testing.assert_array_equal(gaussian.mean, pts[0])
+
+    def test_run_table3_small(self):
+        pts = clustered_points(2_000, 9, n_clusters=10, spread=0.5, high=8.0, seed=4)
+        table = run_table3(n_trials=2, points=pts, seed=5)
+        text = table.render()
+        assert "Table III" in text
+        assert "r_theta(9, 0.4) = 2.32" in text
+        row = table.rows[0]
+        counts = dict(zip([s.upper() for s in SPEC_ORDER], row))
+        assert counts["ALL"] <= min(
+            counts["RR"], counts["BF"], counts["RR+BF"], counts["RR+OR"],
+            counts["BF+OR"],
+        ) + 1e-9

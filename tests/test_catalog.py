@@ -1,0 +1,193 @@
+"""Tests for the U-catalogs: conservative lookups, builders, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.bf import BFCatalog, ExactBFLookup
+from repro.catalog.io import load_catalog, save_catalog
+from repro.catalog.rtheta import ExactRThetaLookup, RThetaCatalog
+from repro.errors import CatalogError, CatalogLookupError
+from repro.gaussian.radial import alpha_for_mass, offset_sphere_mass, r_theta
+
+
+class TestExactRThetaLookup:
+    def test_matches_closed_form(self):
+        lookup = ExactRThetaLookup(2)
+        assert lookup.r_theta(0.01) == pytest.approx(r_theta(2, 0.01))
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(CatalogError):
+            ExactRThetaLookup(0)
+
+
+class TestRThetaCatalog:
+    def test_exact_hit(self):
+        catalog = RThetaCatalog.build_analytic(2, [0.01, 0.05, 0.1])
+        assert catalog.r_theta(0.05) == pytest.approx(r_theta(2, 0.05))
+
+    def test_conservative_between_entries(self):
+        catalog = RThetaCatalog.build_analytic(2, [0.01, 0.1])
+        # theta = 0.06 is absent; the lookup must use theta* = 0.01, whose
+        # radius is LARGER (a superset region) — exactly Algorithm 1 line 4.
+        looked_up = catalog.r_theta(0.06)
+        assert looked_up == pytest.approx(r_theta(2, 0.01))
+        assert looked_up > r_theta(2, 0.06)
+
+    def test_lookup_below_smallest_raises(self):
+        catalog = RThetaCatalog.build_analytic(2, [0.05, 0.1])
+        with pytest.raises(CatalogLookupError):
+            catalog.r_theta(0.01)
+
+    def test_rejects_unsorted_thetas(self):
+        with pytest.raises(CatalogError):
+            RThetaCatalog(2, [0.1, 0.05], [1.0, 2.0])
+
+    def test_rejects_non_monotone_radii(self):
+        with pytest.raises(CatalogError):
+            RThetaCatalog(2, [0.05, 0.1], [1.0, 2.0])
+
+    def test_rejects_theta_out_of_range(self):
+        with pytest.raises(CatalogError):
+            RThetaCatalog(2, [0.6], [1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(CatalogError):
+            RThetaCatalog(2, [0.1, 0.2], [1.0])
+
+    def test_default_grid_covers_small_thetas(self):
+        catalog = RThetaCatalog.default_grid(2, resolution=99)
+        assert catalog.r_theta(0.01) >= r_theta(2, 0.01)
+
+    def test_monte_carlo_builder_close_and_conservative(self):
+        thetas = [0.01, 0.05, 0.1, 0.25]
+        mc = RThetaCatalog.build_monte_carlo(2, thetas, n_samples=400_000, seed=1)
+        for theta in thetas:
+            exact = r_theta(2, theta)
+            got = mc.r_theta(theta)
+            assert got == pytest.approx(exact, rel=0.02)
+
+    def test_monte_carlo_builder_rejects_tiny_sample(self):
+        with pytest.raises(CatalogError):
+            RThetaCatalog.build_monte_carlo(2, [0.1], n_samples=10)
+
+    def test_len(self):
+        assert len(RThetaCatalog.build_analytic(3, [0.1, 0.2])) == 2
+
+
+class TestExactBFLookup:
+    def test_matches_closed_form(self):
+        lookup = ExactBFLookup(2)
+        assert lookup.alpha_upper(2.0, 0.1) == pytest.approx(
+            alpha_for_mass(2, 2.0, 0.1)
+        )
+        assert lookup.alpha_lower(2.0, 0.1) == pytest.approx(
+            alpha_for_mass(2, 2.0, 0.1)
+        )
+
+    def test_none_when_unreachable(self):
+        assert ExactBFLookup(9).alpha_upper(1.0, 0.5) is None
+
+    def test_theta_ge_one_is_none(self):
+        assert ExactBFLookup(2).alpha_upper(1.0, 1.5) is None
+
+
+class TestBFCatalog:
+    @pytest.fixture
+    def catalog(self):
+        return BFCatalog.build_analytic(
+            2, deltas=[1.0, 2.0, 3.0], thetas=[0.01, 0.05, 0.1, 0.3]
+        )
+
+    def test_exact_grid_hit(self, catalog):
+        got = catalog.alpha_upper(2.0, 0.05)
+        assert got == pytest.approx(alpha_for_mass(2, 2.0, 0.05), abs=1e-9)
+
+    def test_upper_lookup_is_conservative(self, catalog):
+        # Off-grid query: returned alpha must be >= the true alpha so that
+        # pruning keeps a superset (Eq. 32).
+        true_alpha = alpha_for_mass(2, 1.7, 0.07)
+        got = catalog.alpha_upper(1.7, 0.07)
+        assert got is not None and got >= true_alpha
+
+    def test_lower_lookup_is_conservative(self, catalog):
+        # Eq. 33: returned alpha must be <= the true alpha so acceptance
+        # without integration never overreaches.
+        true_alpha = alpha_for_mass(2, 1.7, 0.07)
+        got = catalog.alpha_lower(1.7, 0.07)
+        assert got is not None and got <= true_alpha
+
+    def test_upper_none_when_no_dominating_entry(self, catalog):
+        assert catalog.alpha_upper(5.0, 0.05) is None  # no delta' >= 5
+
+    def test_lower_none_when_no_dominated_entry(self, catalog):
+        assert catalog.alpha_lower(0.5, 0.05) is None  # no delta' <= 0.5
+
+    def test_rejects_invalid_queries(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.alpha_upper(0.0, 0.1)
+        with pytest.raises(CatalogError):
+            catalog.alpha_lower(1.0, 0.0)
+
+    def test_rejects_parallel_array_mismatch(self):
+        with pytest.raises(CatalogError):
+            BFCatalog(2, [1.0], [0.1, 0.2], [0.5, 0.6])
+
+    def test_monte_carlo_builder_close_to_analytic(self):
+        deltas, thetas = [1.5, 2.5], [0.05, 0.2]
+        mc = BFCatalog.build_monte_carlo(
+            2, deltas, thetas, n_samples=300_000, seed=2
+        )
+        analytic = BFCatalog.build_analytic(2, deltas, thetas)
+        np.testing.assert_allclose(mc.alphas, analytic.alphas, atol=0.02)
+
+    def test_skips_unreachable_grid_points(self):
+        catalog = BFCatalog.build_analytic(9, deltas=[1.0], thetas=[0.0004, 0.9])
+        # theta=0.9 is unreachable for a 9-D unit sphere; only one entry.
+        assert len(catalog) == 1
+
+    def test_build_rejects_fully_unreachable_grid(self):
+        with pytest.raises(CatalogError):
+            BFCatalog.build_analytic(9, deltas=[0.5], thetas=[0.9])
+
+
+class TestCatalogIO:
+    def test_rtheta_round_trip(self, tmp_path):
+        catalog = RThetaCatalog.build_analytic(3, [0.01, 0.1, 0.3])
+        path = tmp_path / "rtheta.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert isinstance(loaded, RThetaCatalog)
+        assert loaded.dim == 3
+        np.testing.assert_allclose(loaded.radii, catalog.radii)
+
+    def test_bf_round_trip(self, tmp_path):
+        catalog = BFCatalog.build_analytic(2, [1.0, 2.0], [0.05, 0.2])
+        path = tmp_path / "bf.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert isinstance(loaded, BFCatalog)
+        assert loaded.alpha_upper(1.5, 0.1) == catalog.alpha_upper(1.5, 0.1)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {{{")
+        with pytest.raises(CatalogError):
+            load_catalog(path)
+
+    def test_load_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text('{"format": 1, "kind": "mystery"}')
+        with pytest.raises(CatalogError):
+            load_catalog(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text('{"format": 99, "kind": "rtheta"}')
+        with pytest.raises(CatalogError):
+            load_catalog(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CatalogError):
+            load_catalog(tmp_path / "absent.json")

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestDemo:
+    def test_runs_and_prints_table(self, capsys):
+        assert main(["demo", "--points", "1500", "--delta", "25",
+                     "--theta", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "strategies" in out
+        assert "all" in out
+        # Six combination rows.
+        assert sum(1 for line in out.splitlines() if "rr" in line or "bf" in line or "all" in line) >= 6
+
+
+class TestDatasetAndQuery:
+    def test_dataset_then_query(self, tmp_path, capsys):
+        db_path = str(tmp_path / "data.npz")
+        assert main(["dataset", "uniform", db_path, "--size", "400"]) == 0
+        assert main([
+            "query", db_path,
+            "--center", "500", "500",
+            "--sigma-scale", "900",
+            "--delta", "60", "--theta", "0.05",
+            "--exact",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "objects qualify" in out
+
+    def test_query_dim_mismatch_fails_cleanly(self, tmp_path, capsys):
+        db_path = str(tmp_path / "data.npz")
+        main(["dataset", "uniform", db_path, "--size", "100"])
+        code = main([
+            "query", db_path, "--center", "1", "2", "3",
+            "--delta", "1", "--theta", "0.1",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_road_dataset_generation(self, tmp_path, capsys):
+        db_path = str(tmp_path / "road.npz")
+        assert main(["dataset", "road", db_path, "--size", "3000"]) == 0
+        with np.load(db_path) as archive:
+            assert archive["points"].shape == (3000, 2)
+
+
+class TestCatalog:
+    def test_rtheta_catalog(self, tmp_path, capsys):
+        out_path = str(tmp_path / "cat.json")
+        assert main(["catalog", "rtheta", out_path, "--dim", "3",
+                     "--resolution", "7"]) == 0
+        from repro.catalog import load_catalog, RThetaCatalog
+
+        catalog = load_catalog(out_path)
+        assert isinstance(catalog, RThetaCatalog)
+        assert catalog.dim == 3
+
+    def test_bf_catalog_monte_carlo(self, tmp_path):
+        out_path = str(tmp_path / "bf.json")
+        assert main([
+            "catalog", "bf", out_path, "--dim", "2", "--resolution", "4",
+            "--deltas", "1.0", "2.0", "--monte-carlo",
+        ]) == 0
+        from repro.catalog import load_catalog, BFCatalog
+
+        assert isinstance(load_catalog(out_path), BFCatalog)
+
+
+class TestExperiment:
+    def test_fig17(self, capsys):
+        assert main(["experiment", "fig17"]) == 0
+        assert "Fig. 17" in capsys.readouterr().out
+
+    def test_regions(self, capsys):
+        assert main(["experiment", "regions"]) == 0
+        out = capsys.readouterr().out
+        assert "23.4" in out  # the Fig. 13 half-width anchor

@@ -1,0 +1,218 @@
+"""Integration tests for the three-phase query engine and database façade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import SpatialDatabase
+from repro.core.engine import QueryEngine
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.strategies import make_strategies
+from repro.errors import QueryError
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.quadform import qualification_probability_exact
+from repro.index.grid import GridIndex
+from repro.index.linear import LinearScanIndex
+from repro.index.rtree import RStarTree
+from repro.integrate.exact import ExactIntegrator
+from repro.integrate.importance import ImportanceSamplingIntegrator
+from repro.geometry.mbr import Rect
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(99)
+    return rng.random((4000, 2)) * 1000
+
+
+@pytest.fixture(scope="module")
+def database(cloud):
+    return SpatialDatabase(cloud)
+
+
+@pytest.fixture(scope="module")
+def oracle_answer(cloud, paper_sigma_10_module):
+    gaussian = Gaussian([500.0, 500.0], paper_sigma_10_module)
+    probs = np.array(
+        [
+            qualification_probability_exact(gaussian, p, 25.0, method="ruben")
+            for p in cloud
+        ]
+    )
+    return gaussian, set(np.nonzero(probs >= 0.01)[0].tolist())
+
+
+@pytest.fixture(scope="module")
+def paper_sigma_10_module():
+    root3 = np.sqrt(3.0)
+    return 10.0 * np.array([[7.0, 2.0 * root3], [2.0 * root3, 3.0]])
+
+
+class TestEngineCorrectness:
+    @pytest.mark.parametrize("spec", ["rr", "bf", "rr+bf", "rr+or", "bf+or", "all"])
+    def test_every_combination_matches_oracle(self, database, oracle_answer, spec):
+        gaussian, expected = oracle_answer
+        result = database.probabilistic_range_query(
+            gaussian, 25.0, 0.01, strategies=spec, integrator=ExactIntegrator()
+        )
+        assert set(result.ids) == expected
+
+    def test_importance_sampling_close_to_oracle(self, database, oracle_answer):
+        gaussian, expected = oracle_answer
+        result = database.probabilistic_range_query(
+            gaussian,
+            25.0,
+            0.01,
+            strategies="all",
+            integrator=ImportanceSamplingIntegrator(100_000, seed=0),
+        )
+        # Monte Carlo may flip objects within sampling error of theta; the
+        # symmetric difference must stay small.
+        assert len(set(result.ids) ^ expected) <= max(2, len(expected) // 20)
+
+    def test_all_index_backends_agree(self, cloud, oracle_answer):
+        gaussian, expected = oracle_answer
+        for index in (
+            RStarTree(2),
+            GridIndex(Rect([0.0, 0.0], [1000.0, 1000.0]), 32),
+            LinearScanIndex(2),
+        ):
+            db = SpatialDatabase(cloud, index=index)
+            result = db.probabilistic_range_query(
+                gaussian, 25.0, 0.01, strategies="all", integrator=ExactIntegrator()
+            )
+            assert set(result.ids) == expected
+
+    def test_high_theta_uses_bf_empty_proof(self, database):
+        gaussian = Gaussian.isotropic([500.0, 500.0], 400.0)
+        result = database.probabilistic_range_query(
+            gaussian, 1.0, 0.95, strategies="bf", integrator=ExactIntegrator()
+        )
+        assert result.ids == ()
+        assert result.stats.empty_by_strategy == "BF"
+        assert result.stats.integrations == 0
+
+    def test_theta_above_half_still_correct(self, database):
+        # RR/OR clamp the region theta below 1/2 (Definition 3's domain);
+        # results must still match the exact oracle.
+        gaussian = Gaussian.isotropic([500.0, 500.0], 16.0)
+        expected = database.probabilistic_range_query(
+            gaussian, 30.0, 0.7, strategies="bf", integrator=ExactIntegrator()
+        )
+        clamped = database.probabilistic_range_query(
+            gaussian, 30.0, 0.7, strategies="all", integrator=ExactIntegrator()
+        )
+        assert set(clamped.ids) == set(expected.ids)
+        assert len(expected.ids) > 0
+
+    def test_stats_add_up(self, database, oracle_answer):
+        gaussian, _ = oracle_answer
+        result = database.probabilistic_range_query(
+            gaussian, 25.0, 0.01, strategies="all", integrator=ExactIntegrator()
+        )
+        stats = result.stats
+        assert (
+            stats.retrieved
+            == stats.total_rejected
+            + stats.accepted_without_integration
+            + stats.integrations
+        )
+        assert stats.results == len(result.ids)
+        assert set(stats.phase_seconds) == {"search", "filter", "integrate"}
+
+    def test_filtering_order_shrinks_candidates(self, database, oracle_answer):
+        gaussian, _ = oracle_answer
+        counts = {}
+        for spec in ("rr", "rr+bf", "all"):
+            result = database.probabilistic_range_query(
+                gaussian, 25.0, 0.01, strategies=spec, integrator=ExactIntegrator()
+            )
+            counts[spec] = result.stats.integrations
+        assert counts["all"] <= counts["rr+bf"] <= counts["rr"]
+
+
+class TestEngineValidation:
+    def test_requires_strategy(self, database):
+        with pytest.raises(QueryError):
+            QueryEngine(database.index, [])
+
+    def test_dim_mismatch_rejected(self, database):
+        gaussian = Gaussian(np.zeros(3), np.eye(3))
+        engine = database.engine(strategies="all")
+        with pytest.raises(QueryError):
+            engine.execute(ProbabilisticRangeQuery(gaussian, 1.0, 0.1))
+
+    def test_result_container(self, database, oracle_answer):
+        gaussian, expected = oracle_answer
+        result = database.probabilistic_range_query(
+            gaussian, 25.0, 0.01, strategies="all", integrator=ExactIntegrator()
+        )
+        assert len(result) == len(result.ids)
+        if result.ids:
+            assert result.ids[0] in result
+        assert -1 not in result
+        assert result.ids == tuple(sorted(result.ids))
+
+
+class TestSpatialDatabase:
+    def test_len_and_point(self, database, cloud):
+        assert len(database) == len(cloud)
+        np.testing.assert_array_equal(database.point(10), cloud[10])
+
+    def test_range_query(self, database, cloud):
+        hits = database.range_query([500.0, 500.0], 30.0)
+        expected = np.nonzero(
+            np.linalg.norm(cloud - [500.0, 500.0], axis=1) <= 30.0
+        )[0]
+        assert sorted(hits) == expected.tolist()
+
+    def test_knn(self, database, cloud):
+        got = [i for i, _ in database.knn([500.0, 500.0], 5)]
+        expected = np.argsort(np.linalg.norm(cloud - [500.0, 500.0], axis=1))[:5]
+        assert got == expected.tolist()
+
+    def test_explicit_ids(self):
+        db = SpatialDatabase(np.array([[0.0, 0.0], [1.0, 1.0]]), ids=[7, 9])
+        assert sorted(db.range_query([0.5, 0.5], 2.0)) == [7, 9]
+
+    def test_center_sigma_kwargs(self, database, paper_sigma_10_module):
+        result = database.probabilistic_range_query(
+            center=[500.0, 500.0],
+            sigma=paper_sigma_10_module,
+            delta=25.0,
+            theta=0.01,
+            strategies="all",
+            integrator=ExactIntegrator(),
+        )
+        assert isinstance(result.ids, tuple)
+
+    def test_missing_gaussian_and_center_rejected(self, database):
+        with pytest.raises(QueryError):
+            database.probabilistic_range_query(delta=1.0, theta=0.1)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(QueryError):
+            SpatialDatabase(np.empty((0, 2)))
+
+    def test_id_count_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            SpatialDatabase(np.zeros((2, 2)), ids=[1])
+
+    def test_prebuilt_index_must_be_empty(self):
+        index = RStarTree(2)
+        index.insert(0, [0.0, 0.0])
+        with pytest.raises(QueryError):
+            SpatialDatabase(np.zeros((1, 2)), index=index)
+
+    def test_index_dim_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            SpatialDatabase(np.zeros((2, 2)), index=RStarTree(3))
+
+    def test_engine_with_explicit_strategy_list(self, database, oracle_answer):
+        gaussian, expected = oracle_answer
+        engine = database.engine(
+            strategies=make_strategies("all"), integrator=ExactIntegrator()
+        )
+        result = engine.execute(ProbabilisticRangeQuery(gaussian, 25.0, 0.01))
+        assert set(result.ids) == expected

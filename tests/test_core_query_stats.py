@@ -1,0 +1,79 @@
+"""Tests for the query specification and statistics containers."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.stats import QueryStats
+from repro.errors import InvalidThresholdError, QueryError
+from repro.gaussian.distribution import Gaussian
+
+
+class TestProbabilisticRangeQuery:
+    def test_create_convenience(self, paper_sigma_10):
+        q = ProbabilisticRangeQuery.create([1.0, 2.0], paper_sigma_10, 25.0, 0.01)
+        assert q.dim == 2
+        np.testing.assert_allclose(q.center, [1.0, 2.0])
+
+    @pytest.mark.parametrize("theta", [0.0, 1.0, -0.1, 1.5, float("nan")])
+    def test_invalid_theta_rejected(self, paper_gaussian, theta):
+        with pytest.raises((InvalidThresholdError, QueryError)):
+            ProbabilisticRangeQuery(paper_gaussian, 25.0, theta)
+
+    @pytest.mark.parametrize("delta", [0.0, -1.0, float("inf")])
+    def test_invalid_delta_rejected(self, paper_gaussian, delta):
+        with pytest.raises(QueryError):
+            ProbabilisticRangeQuery(paper_gaussian, delta, 0.1)
+
+    def test_non_gaussian_rejected(self):
+        with pytest.raises(QueryError):
+            ProbabilisticRangeQuery("not a gaussian", 1.0, 0.1)
+
+    def test_region_theta_passthrough_below_half(self, paper_gaussian):
+        q = ProbabilisticRangeQuery(paper_gaussian, 25.0, 0.3)
+        assert q.region_theta == 0.3
+
+    def test_region_theta_clamped_at_half(self, paper_gaussian):
+        q = ProbabilisticRangeQuery(paper_gaussian, 25.0, 0.8)
+        assert q.region_theta < 0.5
+        assert q.region_theta == pytest.approx(0.5, abs=1e-6)
+
+    def test_repr(self, paper_gaussian):
+        assert "PRQ" in repr(ProbabilisticRangeQuery(paper_gaussian, 25.0, 0.01))
+
+
+class TestQueryStats:
+    def test_phase_timing_accumulates(self):
+        stats = QueryStats()
+        with stats.time_phase("integrate"):
+            time.sleep(0.01)
+        with stats.time_phase("integrate"):
+            time.sleep(0.01)
+        assert stats.phase_seconds["integrate"] >= 0.02
+        assert stats.total_seconds == sum(stats.phase_seconds.values())
+
+    def test_timing_survives_exception(self):
+        stats = QueryStats()
+        with pytest.raises(RuntimeError):
+            with stats.time_phase("search"):
+                raise RuntimeError("boom")
+        assert "search" in stats.phase_seconds
+
+    def test_rejection_bookkeeping(self):
+        stats = QueryStats()
+        stats.note_rejections("RR", 5)
+        stats.note_rejections("RR", 3)
+        stats.note_rejections("OR", 0)  # zero is not recorded
+        assert stats.rejected_by_filter == {"RR": 8}
+        assert stats.total_rejected == 8
+
+    def test_summary_contains_counts(self):
+        stats = QueryStats()
+        stats.retrieved = 10
+        stats.integrations = 4
+        text = stats.summary()
+        assert "retrieved=10" in text and "integrated=4" in text

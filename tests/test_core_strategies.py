@@ -1,0 +1,309 @@
+"""Soundness and behaviour tests for the RR, OR and BF strategies.
+
+The central invariant, checked property-style against the exact
+qualification probability: a strategy may only REJECT objects whose true
+probability is below θ, and only ACCEPT objects whose true probability is
+at or above θ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.bf import BFCatalog
+from repro.catalog.rtheta import RThetaCatalog
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.strategies import (
+    ACCEPT,
+    REJECT,
+    UNKNOWN,
+    BoundingFunctionStrategy,
+    ObliqueStrategy,
+    RectilinearStrategy,
+    make_strategies,
+)
+from repro.errors import QueryError
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.quadform import qualification_probability_exact
+from tests.conftest import random_spd
+
+
+def exact_probs(gaussian, points, delta):
+    return np.array(
+        [
+            qualification_probability_exact(gaussian, p, delta, method="ruben")
+            for p in points
+        ]
+    )
+
+
+def assert_sound(strategy, query, points, probs=None):
+    """No REJECT may kill a qualifying object; no ACCEPT may admit a
+    non-qualifying one."""
+    codes = strategy.classify(points)
+    if probs is None:
+        probs = exact_probs(query.gaussian, points, query.delta)
+    qualifying = probs >= query.theta
+    rejected_ids = np.nonzero(codes == REJECT)[0]
+    assert not np.any(qualifying[rejected_ids]), (
+        f"{strategy.name} rejected qualifying objects: "
+        f"{points[rejected_ids[qualifying[rejected_ids]]]}"
+    )
+    accepted_ids = np.nonzero(codes == ACCEPT)[0]
+    assert np.all(qualifying[accepted_ids]), (
+        f"{strategy.name} accepted non-qualifying objects"
+    )
+
+
+@pytest.fixture(scope="module")
+def query():
+    root3 = np.sqrt(3.0)
+    sigma = 10.0 * np.array([[7.0, 2.0 * root3], [2.0 * root3, 3.0]])
+    return ProbabilisticRangeQuery(Gaussian([500.0, 500.0], sigma), 25.0, 0.01)
+
+
+@pytest.fixture(scope="module")
+def candidate_cloud(query):
+    """Points concentrated around the decision boundary."""
+    rng = np.random.default_rng(12345)
+    return query.gaussian.mean + rng.uniform(-120, 120, size=(400, 2))
+
+
+@pytest.fixture(scope="module")
+def cloud_probs(query, candidate_cloud):
+    """Exact qualification probabilities of the shared cloud, computed once."""
+    return exact_probs(query.gaussian, candidate_cloud, query.delta)
+
+
+class TestRectilinearStrategy:
+    def test_soundness(self, query, candidate_cloud, cloud_probs):
+        strategy = RectilinearStrategy()
+        strategy.prepare(query)
+        assert_sound(strategy, query, candidate_cloud, cloud_probs)
+
+    def test_search_rect_is_minkowski_bounding_box(self, query):
+        strategy = RectilinearStrategy()
+        strategy.prepare(query)
+        rect = strategy.search_rect()
+        region = strategy.region
+        assert rect == region.bounding_rect()
+        # Half widths: sigma_i * r_theta + delta (Property 2 + Fig. 4).
+        expected = np.sqrt(np.diag(query.gaussian.sigma)) * 2.797 + 25.0
+        np.testing.assert_allclose(
+            (rect.highs - rect.lows) / 2.0, expected, rtol=1e-3
+        )
+
+    def test_fringe_filter_rejects_corners_only(self, query, rng):
+        strategy = RectilinearStrategy()
+        strategy.prepare(query)
+        pts = query.gaussian.mean + rng.uniform(-80, 80, size=(500, 2))
+        codes = strategy.classify(pts)
+        fringe = strategy.region.in_fringe(pts)
+        inside_box = strategy.search_rect().contains_points(pts)
+        # Inside the box: REJECT iff fringe.
+        np.testing.assert_array_equal(
+            codes[inside_box] == REJECT, fringe[inside_box]
+        )
+
+    def test_paper_mode_disables_fringe_beyond_2d(self, rng):
+        sigma = random_spd(rng, 3)
+        gaussian = Gaussian(np.zeros(3), sigma)
+        query3 = ProbabilisticRangeQuery(gaussian, 2.0, 0.05)
+        paper = RectilinearStrategy(fringe_filter="paper")
+        paper.prepare(query3)
+        pts = rng.uniform(-10, 10, size=(100, 3))
+        assert np.all(paper.classify(pts) == UNKNOWN)
+        exact = RectilinearStrategy(fringe_filter="exact")
+        exact.prepare(query3)
+        assert np.any(exact.classify(pts) == REJECT)
+
+    def test_off_mode_never_rejects(self, query, candidate_cloud):
+        strategy = RectilinearStrategy(fringe_filter="off")
+        strategy.prepare(query)
+        assert np.all(strategy.classify(candidate_cloud) == UNKNOWN)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(QueryError):
+            RectilinearStrategy(fringe_filter="maybe")
+
+    def test_use_before_prepare_rejected(self):
+        with pytest.raises(QueryError):
+            RectilinearStrategy().search_rect()
+
+    def test_catalog_lookup_enlarges_region(self, query):
+        # A coarse catalog without theta=0.01 must fall back to a smaller
+        # theta* and hence a larger box.
+        coarse = RThetaCatalog.build_analytic(2, [0.005, 0.25])
+        strategy = RectilinearStrategy(coarse)
+        strategy.prepare(query)
+        exact = RectilinearStrategy()
+        exact.prepare(query)
+        assert strategy.search_rect().contains_rect(exact.search_rect())
+
+    def test_dim_mismatch_lookup_rejected(self, query):
+        with pytest.raises(QueryError):
+            RectilinearStrategy(RThetaCatalog.build_analytic(3, [0.01])).prepare(query)
+
+
+class TestObliqueStrategy:
+    def test_soundness(self, query, candidate_cloud, cloud_probs):
+        strategy = ObliqueStrategy()
+        strategy.prepare(query)
+        assert_sound(strategy, query, candidate_cloud, cloud_probs)
+
+    def test_oblique_box_tighter_than_rr_for_tilted_gaussians(self, query, rng):
+        # The signature OR advantage: its box area is smaller than the RR
+        # bounding box for the paper's tilted covariance.
+        oblique = ObliqueStrategy()
+        oblique.prepare(query)
+        rr = RectilinearStrategy()
+        rr.prepare(query)
+        assert oblique.box.volume() < rr.search_rect().volume()
+
+    def test_classify_matches_box_membership(self, query, candidate_cloud):
+        strategy = ObliqueStrategy()
+        strategy.prepare(query)
+        codes = strategy.classify(candidate_cloud)
+        inside = strategy.box.contains_points(candidate_cloud)
+        np.testing.assert_array_equal(codes == UNKNOWN, inside)
+        np.testing.assert_array_equal(codes == REJECT, ~inside)
+
+    def test_use_before_prepare_rejected(self):
+        with pytest.raises(QueryError):
+            ObliqueStrategy().classify(np.zeros((1, 2)))
+
+
+class TestBoundingFunctionStrategy:
+    def test_soundness(self, query, candidate_cloud, cloud_probs):
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(query)
+        assert_sound(strategy, query, candidate_cloud, cloud_probs)
+
+    def test_alpha_ordering(self, query):
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(query)
+        assert strategy.alpha_lower is not None
+        assert strategy.alpha_upper is not None
+        assert 0 < strategy.alpha_lower < strategy.alpha_upper
+
+    def test_accepts_inner_points_without_integration(self, query):
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(query)
+        inner = query.gaussian.mean + np.array([[1.0, 1.0]])
+        assert strategy.classify(inner)[0] == ACCEPT
+
+    def test_rejects_far_points(self, query):
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(query)
+        far = query.gaussian.mean + np.array([[500.0, 0.0]])
+        assert strategy.classify(far)[0] == REJECT
+
+    def test_annulus_is_unknown(self, query):
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(query)
+        mid_radius = 0.5 * (strategy.alpha_lower + strategy.alpha_upper)
+        mid = query.gaussian.mean + np.array([[mid_radius, 0.0]])
+        assert strategy.classify(mid)[0] == UNKNOWN
+
+    def test_spherical_gaussian_needs_no_integration(self, rng):
+        # When lambda_par == lambda_perp the bounds coincide: BF decides
+        # every object exactly (the paper's "completely spherical" remark).
+        gaussian = Gaussian.isotropic([0.0, 0.0], 9.0)
+        query = ProbabilisticRangeQuery(gaussian, 5.0, 0.1)
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(query)
+        assert strategy.alpha_lower == pytest.approx(strategy.alpha_upper, rel=1e-9)
+        pts = rng.uniform(-20, 20, size=(300, 2))
+        codes = strategy.classify(pts)
+        assert not np.any(codes == UNKNOWN)
+        probs = exact_probs(gaussian, pts, 5.0)
+        boundary_gap = np.abs(probs - 0.1) > 1e-6
+        np.testing.assert_array_equal(
+            (codes == ACCEPT)[boundary_gap], (probs >= 0.1)[boundary_gap]
+        )
+
+    def test_no_inner_hole_for_ill_shaped_high_dim(self, rng):
+        # Section VI: for narrow high-dimensional Gaussians the scaled theta
+        # of Eq. 37 exceeds one and the inner hole vanishes.
+        eigenvalues = np.concatenate([[100.0], np.full(8, 0.01)])
+        gaussian = Gaussian(np.zeros(9), np.diag(eigenvalues))
+        query = ProbabilisticRangeQuery(gaussian, 0.7, 0.4)
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(query)
+        assert strategy.alpha_lower is None
+
+    def test_proves_empty_when_theta_unreachable(self):
+        # Tiny delta + high theta: no location can qualify.
+        gaussian = Gaussian.isotropic([0.0, 0.0], 100.0)
+        query = ProbabilisticRangeQuery(gaussian, 0.1, 0.9)
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(query)
+        assert strategy.proves_empty
+        assert strategy.search_rect() is None
+        pts = np.array([[0.0, 0.0]])
+        assert strategy.classify(pts)[0] == REJECT
+
+    def test_catalog_backed_lookup_still_sound(self, query, candidate_cloud, cloud_probs):
+        catalog = BFCatalog.build_analytic(
+            2,
+            deltas=np.linspace(0.5, 5.0, 12),
+            thetas=np.geomspace(1e-4, 0.45, 12),
+        )
+        strategy = BoundingFunctionStrategy(catalog)
+        strategy.prepare(query)
+        if not strategy.proves_empty:
+            assert_sound(strategy, query, candidate_cloud, cloud_probs)
+
+    def test_use_before_prepare_rejected(self):
+        with pytest.raises(QueryError):
+            BoundingFunctionStrategy().search_rect()
+
+
+class TestMakeStrategies:
+    @pytest.mark.parametrize(
+        "spec,names",
+        [
+            ("rr", ["RR"]),
+            ("bf", ["BF"]),
+            ("rr+bf", ["RR", "BF"]),
+            ("rr+or", ["RR", "OR"]),
+            ("bf+or", ["BF", "OR"]),
+            ("all", ["RR", "BF", "OR"]),
+        ],
+    )
+    def test_specs(self, spec, names):
+        assert [s.name for s in make_strategies(spec)] == names
+
+    def test_spec_order_insensitive(self):
+        assert [s.name for s in make_strategies("or+rr")] == ["RR", "OR"]
+
+    def test_case_insensitive(self):
+        assert [s.name for s in make_strategies("ALL")] == ["RR", "BF", "OR"]
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(QueryError):
+            make_strategies("rr+xx")
+
+
+class TestRandomizedSoundness:
+    """Property-style sweep: every strategy stays sound across random
+    covariances, thresholds and dimensionalities."""
+
+    @pytest.mark.parametrize("dim", [2, 3, 5])
+    @pytest.mark.parametrize("theta", [0.01, 0.2, 0.45])
+    def test_all_strategies_sound(self, dim, theta):
+        rng = np.random.default_rng(dim * 100 + int(theta * 1000))
+        sigma = random_spd(rng, dim, scale=4.0)
+        gaussian = Gaussian(rng.standard_normal(dim), sigma)
+        delta = float(np.sqrt(np.trace(sigma)) * 0.8)
+        query = ProbabilisticRangeQuery(gaussian, delta, theta)
+        spread = 3.0 * np.sqrt(np.trace(sigma)) + delta
+        points = gaussian.mean + rng.uniform(-spread, spread, size=(90, dim))
+        for strategy in make_strategies("all"):
+            strategy.prepare(query)
+            if strategy.proves_empty:
+                probs = exact_probs(gaussian, points, delta)
+                assert np.all(probs < theta)
+                continue
+            assert_sound(strategy, query, points)

@@ -1,0 +1,180 @@
+"""Tests for the EM (ellipsoid-Minkowski) strategy and the point-to-
+ellipsoid distance routine behind it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import SpatialDatabase
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.strategies import (
+    REJECT,
+    UNKNOWN,
+    EllipsoidStrategy,
+    ObliqueStrategy,
+    RectilinearStrategy,
+    make_strategies,
+)
+from repro.errors import QueryError
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.quadform import qualification_probability_exact
+from repro.geometry.ellipsoid import Ellipsoid
+from repro.integrate.exact import ExactIntegrator
+from tests.conftest import random_spd
+
+
+class TestDistanceToSurface:
+    def test_sphere_case_closed_form(self):
+        e = Ellipsoid([0.0, 0.0], np.eye(2), 2.0)
+        pts = np.array([[5.0, 0.0], [0.0, -7.0], [1.0, 1.0], [3.0, 4.0]])
+        expected = np.maximum(np.linalg.norm(pts, axis=1) - 2.0, 0.0)
+        np.testing.assert_allclose(e.distance_to_surface(pts), expected, atol=1e-9)
+
+    def test_interior_points_zero(self, paper_sigma_10, rng):
+        e = Ellipsoid([0.0, 0.0], paper_sigma_10, 2.0)
+        interior = e.transform.to_world(
+            0.9
+            * np.sqrt(e.transform.eigenvalues)
+            * 2.0
+            * (rng.random((40, 2)) - 0.5)
+        )
+        inside = e.contains_points(interior)
+        distances = e.distance_to_surface(interior)
+        assert np.all(distances[inside] == 0.0)
+
+    def test_matches_dense_surface_sampling(self, paper_sigma_10, rng):
+        e = Ellipsoid([3.0, -2.0], paper_sigma_10, 1.8)
+        angles = np.linspace(0, 2 * np.pi, 60_000)
+        surface = e.transform.to_world(
+            1.8
+            * np.sqrt(e.transform.eigenvalues)
+            * np.column_stack([np.cos(angles), np.sin(angles)])
+        )
+        pts = e.center + rng.uniform(-40, 40, size=(25, 2))
+        got = e.distance_to_surface(pts)
+        for p, d in zip(pts, got):
+            brute = float(np.min(np.linalg.norm(surface - p, axis=1)))
+            if e.contains_point(p):
+                assert d == 0.0
+            else:
+                assert d == pytest.approx(brute, abs=2e-3)
+
+    def test_high_eccentricity_stable(self):
+        e = Ellipsoid([0.0, 0.0], np.diag([1e4, 1e-2]), 1.0)
+        pts = np.array([[150.0, 0.0], [0.0, 5.0], [80.0, 3.0]])
+        d = e.distance_to_surface(pts)
+        assert d[0] == pytest.approx(50.0, rel=1e-6)
+        assert d[1] == pytest.approx(4.9, rel=1e-6)
+        assert np.all(np.isfinite(d))
+
+    def test_3d(self, rng):
+        sigma = random_spd(rng, 3)
+        e = Ellipsoid(rng.standard_normal(3), sigma, 1.5)
+        pts = e.center + rng.standard_normal((50, 3)) * 6
+        d = e.distance_to_surface(pts)
+        inside = e.contains_points(pts)
+        assert np.all(d[inside] == 0.0)
+        assert np.all(d[~inside] > 0.0)
+        # Triangle sanity: distance to surface <= distance to centre.
+        assert np.all(d <= np.linalg.norm(pts - e.center, axis=1) + 1e-9)
+
+    def test_zero_radius_degenerates_to_point(self):
+        e = Ellipsoid([1.0, 2.0], np.eye(2), 0.0)
+        np.testing.assert_allclose(
+            e.distance_to_surface(np.array([[4.0, 6.0]])), [5.0]
+        )
+
+
+class TestEllipsoidStrategy:
+    @pytest.fixture
+    def query(self, paper_gaussian):
+        return ProbabilisticRangeQuery(paper_gaussian, 25.0, 0.01)
+
+    def test_soundness(self, query, rng):
+        strategy = EllipsoidStrategy()
+        strategy.prepare(query)
+        pts = query.gaussian.mean + rng.uniform(-120, 120, size=(300, 2))
+        codes = strategy.classify(pts)
+        rejected = pts[codes == REJECT]
+        for p in rejected:
+            prob = qualification_probability_exact(
+                query.gaussian, p, query.delta, method="ruben"
+            )
+            assert prob < query.theta
+
+    def test_region_within_rr_and_or(self, query, rng):
+        em = EllipsoidStrategy()
+        rr = RectilinearStrategy()
+        oblique = ObliqueStrategy()
+        for s in (em, rr, oblique):
+            s.prepare(query)
+        pts = query.gaussian.mean + rng.uniform(-120, 120, size=(500, 2))
+        em_keep = em.classify(pts) == UNKNOWN
+        rr_keep = rr.classify(pts) != REJECT
+        or_keep = oblique.classify(pts) != REJECT
+        # EM's undecided set is a subset of both RR's and OR's.
+        assert np.all(~em_keep | rr_keep)
+        assert np.all(~em_keep | or_keep)
+
+    def test_search_rect_equals_rr_box(self, query):
+        em = EllipsoidStrategy()
+        rr = RectilinearStrategy()
+        em.prepare(query)
+        rr.prepare(query)
+        assert em.search_rect() == rr.search_rect()
+
+    def test_engine_results_match_oracle(self, rng, paper_gaussian):
+        pts = paper_gaussian.mean + rng.uniform(-150, 150, size=(2000, 2))
+        db = SpatialDatabase(pts)
+        reference = db.probabilistic_range_query(
+            paper_gaussian, 25.0, 0.01, strategies="all",
+            integrator=ExactIntegrator(),
+        )
+        for spec in ("em", "em+bf"):
+            result = db.probabilistic_range_query(
+                paper_gaussian, 25.0, 0.01, strategies=spec,
+                integrator=ExactIntegrator(),
+            )
+            assert result.ids == reference.ids
+
+    def test_em_bf_never_looser_than_all(self, rng, paper_gaussian):
+        from repro.bench.experiments import _CountOnlyIntegrator
+
+        pts = paper_gaussian.mean + rng.uniform(-150, 150, size=(3000, 2))
+        db = SpatialDatabase(pts)
+        counting = _CountOnlyIntegrator()
+        query = ProbabilisticRangeQuery(paper_gaussian, 25.0, 0.01)
+        counts = {
+            spec: db.engine(strategies=spec, integrator=counting)
+            .execute(query)
+            .stats.integrations
+            for spec in ("all", "em+bf", "em", "rr+or")
+        }
+        assert counts["em"] <= counts["rr+or"]
+        assert counts["em+bf"] <= counts["all"]
+
+    def test_spec_listing(self):
+        assert [s.name for s in make_strategies("em")] == ["EM"]
+        assert [s.name for s in make_strategies("em+bf")] == ["EM", "BF"]
+
+    def test_use_before_prepare_rejected(self):
+        with pytest.raises(QueryError):
+            EllipsoidStrategy().search_rect()
+
+    @pytest.mark.parametrize("dim", [3, 5])
+    def test_higher_dimensions_sound(self, dim):
+        rng = np.random.default_rng(dim)
+        sigma = random_spd(rng, dim, scale=3.0)
+        gaussian = Gaussian(rng.standard_normal(dim), sigma)
+        delta = float(np.sqrt(np.trace(sigma)))
+        query = ProbabilisticRangeQuery(gaussian, delta, 0.05)
+        strategy = EllipsoidStrategy()
+        strategy.prepare(query)
+        pts = gaussian.mean + rng.uniform(-4, 4, size=(70, dim)) * np.sqrt(
+            np.diag(sigma)
+        )
+        codes = strategy.classify(pts)
+        for p in pts[codes == REJECT]:
+            prob = qualification_probability_exact(gaussian, p, delta, method="ruben")
+            assert prob < 0.05

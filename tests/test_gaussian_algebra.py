@@ -1,0 +1,103 @@
+"""Tests for Gaussian marginalization and conditioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, GeometryError
+from repro.gaussian.distribution import Gaussian
+from tests.conftest import random_spd
+
+
+@pytest.fixture
+def gaussian_4d(rng):
+    return Gaussian(rng.standard_normal(4), random_spd(rng, 4))
+
+
+class TestMarginal:
+    def test_selects_blocks(self, gaussian_4d):
+        marginal = gaussian_4d.marginal([1, 3])
+        np.testing.assert_allclose(marginal.mean, gaussian_4d.mean[[1, 3]])
+        np.testing.assert_allclose(
+            marginal.sigma, gaussian_4d.sigma[np.ix_([1, 3], [1, 3])]
+        )
+
+    def test_matches_sampled_marginal(self, rng, gaussian_4d):
+        samples = gaussian_4d.sample(120_000, rng)[:, [0, 2]]
+        marginal = gaussian_4d.marginal([0, 2])
+        np.testing.assert_allclose(samples.mean(axis=0), marginal.mean, atol=0.03)
+        np.testing.assert_allclose(np.cov(samples.T), marginal.sigma, atol=0.08)
+
+    def test_full_marginal_is_identity(self, gaussian_4d):
+        same = gaussian_4d.marginal([0, 1, 2, 3])
+        assert same == gaussian_4d
+
+    def test_validation(self, gaussian_4d):
+        with pytest.raises(GeometryError):
+            gaussian_4d.marginal([])
+        with pytest.raises(GeometryError):
+            gaussian_4d.marginal([0, 0])
+        with pytest.raises(GeometryError):
+            gaussian_4d.marginal([4])
+
+
+class TestCondition:
+    def test_independent_dims_unchanged(self, rng):
+        g = Gaussian([1.0, 2.0], np.diag([4.0, 9.0]))
+        conditioned = g.condition([1], [5.0])
+        np.testing.assert_allclose(conditioned.mean, [1.0])
+        np.testing.assert_allclose(conditioned.sigma, [[4.0]])
+
+    def test_formula_against_sampling(self, rng, gaussian_4d):
+        observed_value = gaussian_4d.mean[3] + 0.5
+        conditioned = gaussian_4d.condition([3], [observed_value])
+        # Rejection-sample the conditional from the joint.
+        samples = gaussian_4d.sample(600_000, rng)
+        band = np.abs(samples[:, 3] - observed_value) < 0.05
+        kept = samples[band][:, :3]
+        assert kept.shape[0] > 3_000
+        np.testing.assert_allclose(kept.mean(axis=0), conditioned.mean, atol=0.1)
+        np.testing.assert_allclose(np.cov(kept.T), conditioned.sigma, atol=0.25)
+
+    def test_conditioning_reduces_variance(self, gaussian_4d):
+        conditioned = gaussian_4d.condition([0], [0.0])
+        # Determinant shrinks (or stays) after observing a dimension.
+        remaining = gaussian_4d.marginal([1, 2, 3])
+        assert conditioned.det_sigma <= remaining.det_sigma + 1e-12
+
+    def test_kalman_update_equivalence(self):
+        # Conditioning a joint (state, measurement) Gaussian on the
+        # measurement is exactly the Kalman update.
+        from repro.robotics.kalman import KalmanFilter
+
+        p0 = np.array([[2.0, 0.5], [0.5, 1.0]])
+        r = 0.64
+        kf = KalmanFilter(
+            transition=np.eye(2),
+            process_noise=1e-12 * np.eye(2),
+            observation=np.array([[1.0, 0.0]]),
+            observation_noise=np.array([[r]]),
+        )
+        kf.initialize(np.zeros(2), p0)
+        kf.predict()
+        kf.update(np.array([1.2]))
+        mean_kf, cov_kf = kf.state
+
+        # Joint over (x0, x1, z) with z = x0 + noise.
+        joint_mean = np.zeros(3)
+        joint_cov = np.zeros((3, 3))
+        joint_cov[:2, :2] = p0
+        joint_cov[2, :2] = p0[0, :]
+        joint_cov[:2, 2] = p0[:, 0]
+        joint_cov[2, 2] = p0[0, 0] + r
+        joint = Gaussian(joint_mean, joint_cov)
+        conditioned = joint.condition([2], [1.2])
+        np.testing.assert_allclose(conditioned.mean, mean_kf, atol=1e-6)
+        np.testing.assert_allclose(conditioned.sigma, cov_kf, atol=1e-6)
+
+    def test_validation(self, gaussian_4d):
+        with pytest.raises(DimensionMismatchError):
+            gaussian_4d.condition([0], [1.0, 2.0])
+        with pytest.raises(GeometryError):
+            gaussian_4d.condition([0, 1, 2, 3], [0.0, 0.0, 0.0, 0.0])

@@ -1,0 +1,209 @@
+"""Tests for the exact quadratic-form CDFs (Imhof and Ruben)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.errors import GeometryError, IntegrationError
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.quadform import (
+    GaussianQuadraticForm,
+    chi2_sandwich_bounds,
+    imhof_cdf,
+    qualification_probability_exact,
+    ruben_cdf,
+)
+from tests.conftest import random_spd
+
+
+def _form(weights, dofs=None, ncs=None) -> GaussianQuadraticForm:
+    w = np.asarray(weights, dtype=float)
+    return GaussianQuadraticForm(
+        w,
+        np.ones_like(w) if dofs is None else np.asarray(dofs, float),
+        np.zeros_like(w) if ncs is None else np.asarray(ncs, float),
+    )
+
+
+class TestFormConstruction:
+    def test_moments(self):
+        form = _form([2.0, 3.0], ncs=[1.0, 0.5])
+        assert form.mean() == pytest.approx(2 * (1 + 1.0) + 3 * (1 + 0.5))
+        assert form.variance() == pytest.approx(2 * (4 * 3.0 + 9 * 2.0))
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(GeometryError):
+            _form([1.0, 0.0])
+
+    def test_rejects_negative_noncentrality(self):
+        with pytest.raises(GeometryError):
+            _form([1.0], ncs=[-0.5])
+
+    def test_rejects_fractional_dof(self):
+        with pytest.raises(GeometryError):
+            _form([1.0], dofs=[1.5])
+
+    def test_squared_distance_form(self, paper_gaussian):
+        o = np.array([510.0, 490.0])
+        form = GaussianQuadraticForm.squared_distance(paper_gaussian, o)
+        # E||x - o||^2 = ||mu||^2 + tr(Sigma)
+        mu = paper_gaussian.mean - o
+        expected = float(mu @ mu + np.trace(paper_gaussian.sigma))
+        assert form.mean() == pytest.approx(expected, rel=1e-10)
+
+    def test_sample_moments(self, rng):
+        form = _form([1.0, 4.0], ncs=[2.0, 0.0])
+        draws = form.sample(200_000, rng)
+        assert draws.mean() == pytest.approx(form.mean(), rel=0.02)
+        assert draws.var() == pytest.approx(form.variance(), rel=0.05)
+
+
+class TestAgainstClosedForms:
+    def test_central_chi2_single_weight(self):
+        # Q = 2 * chi2_3: CDF known exactly.
+        form = _form([2.0, 2.0, 2.0])
+        for x in (0.5, 2.0, 6.0, 20.0):
+            expected = stats.chi2.cdf(x / 2.0, 3)
+            assert imhof_cdf(form, x) == pytest.approx(expected, abs=1e-7)
+            assert ruben_cdf(form, x) == pytest.approx(expected, abs=1e-10)
+
+    def test_noncentral_chi2_single_weight(self):
+        form = _form([1.5, 1.5], ncs=[2.0, 1.0])
+        for x in (1.0, 5.0, 15.0):
+            expected = stats.ncx2.cdf(x / 1.5, 2, 3.0)
+            assert imhof_cdf(form, x) == pytest.approx(expected, abs=1e-7)
+            assert ruben_cdf(form, x) == pytest.approx(expected, abs=1e-9)
+
+    def test_exponential_case_d2(self):
+        # Q = chi2_2 = Exp(1/2): P(Q <= x) = 1 - exp(-x/2).
+        form = _form([1.0, 1.0])
+        for x in (0.1, 1.0, 4.0):
+            expected = 1.0 - np.exp(-x / 2.0)
+            assert ruben_cdf(form, x) == pytest.approx(expected, abs=1e-12)
+
+
+class TestImhofVsRuben:
+    @given(
+        st.lists(st.floats(0.2, 30.0), min_size=1, max_size=6),
+        st.lists(st.floats(0.0, 8.0), min_size=1, max_size=6),
+        st.floats(0.1, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_agreement(self, weights, ncs, x_scale):
+        n = min(len(weights), len(ncs))
+        form = _form(weights[:n], ncs=ncs[:n])
+        x = x_scale * form.mean()
+        assert imhof_cdf(form, x) == pytest.approx(ruben_cdf(form, x), abs=2e-6)
+
+    def test_agreement_against_simulation(self, rng):
+        form = _form([5.0, 1.0, 0.3], ncs=[1.0, 4.0, 0.0])
+        draws = form.sample(400_000, rng)
+        for x in np.quantile(draws, [0.1, 0.5, 0.9]):
+            empirical = np.mean(draws <= x)
+            assert imhof_cdf(form, float(x)) == pytest.approx(empirical, abs=0.005)
+
+
+class TestEdgeBehaviour:
+    def test_negative_threshold_is_zero(self):
+        form = _form([1.0])
+        assert imhof_cdf(form, -1.0) == 0.0
+        assert ruben_cdf(form, -1.0) == 0.0
+
+    def test_zero_threshold(self):
+        form = _form([1.0])
+        assert ruben_cdf(form, 0.0) == 0.0
+
+    def test_huge_threshold_is_one(self):
+        form = _form([1.0, 2.0], ncs=[1.0, 1.0])
+        assert imhof_cdf(form, 1e4) == pytest.approx(1.0, abs=1e-8)
+        assert ruben_cdf(form, 1e4) == pytest.approx(1.0, abs=1e-10)
+
+    def test_ruben_raises_on_extreme_noncentrality(self):
+        form = _form([1.0, 1.0], ncs=[2000.0, 2000.0])
+        with pytest.raises(IntegrationError):
+            ruben_cdf(form, 100.0)
+
+    def test_sandwich_bounds_contain_truth(self):
+        form = _form([5.0, 1.0], ncs=[2.0, 1.0])
+        for x in (1.0, 5.0, 20.0, 60.0):
+            lower, upper = chi2_sandwich_bounds(form, x)
+            truth = imhof_cdf(form, x)
+            assert lower - 1e-9 <= truth <= upper + 1e-9
+
+
+class TestQualificationProbability:
+    def test_methods_agree(self, paper_gaussian):
+        for point in ([510.0, 490.0], [500.0, 500.0], [540.0, 520.0]):
+            p_i = qualification_probability_exact(
+                paper_gaussian, np.array(point), 25.0, method="imhof"
+            )
+            p_r = qualification_probability_exact(
+                paper_gaussian, np.array(point), 25.0, method="ruben"
+            )
+            assert p_i == pytest.approx(p_r, abs=1e-6)
+
+    def test_against_monte_carlo(self, rng, paper_gaussian):
+        point = np.array([515.0, 495.0])
+        exact = qualification_probability_exact(paper_gaussian, point, 25.0)
+        samples = paper_gaussian.sample(400_000, rng)
+        frac = np.mean(np.sum((samples - point) ** 2, axis=1) <= 625.0)
+        assert exact == pytest.approx(frac, abs=0.004)
+
+    def test_far_point_is_zero(self, paper_gaussian):
+        # The sandwich shortcut must kick in and return ~0 without error in
+        # either method.
+        far = np.array([5000.0, 5000.0])
+        assert qualification_probability_exact(paper_gaussian, far, 25.0) < 1e-14
+        assert (
+            qualification_probability_exact(
+                paper_gaussian, far, 25.0, method="ruben"
+            )
+            < 1e-14
+        )
+
+    def test_ruben_falls_back_to_imhof(self):
+        # Moderately large noncentrality that underflows Ruben's a0 but has
+        # a non-negligible probability: the fallback must engage silently.
+        g = Gaussian([0.0, 0.0], np.diag([1.0, 1.0]))
+        point = np.array([40.0, 0.0])
+        delta = 42.0  # ball reaches past the mean: substantial probability
+        p = qualification_probability_exact(g, point, delta, method="ruben")
+        p_imhof = qualification_probability_exact(g, point, delta, method="imhof")
+        assert p == pytest.approx(p_imhof, abs=1e-9)
+        assert 0.5 < p < 1.0
+
+    def test_zero_delta(self, paper_gaussian):
+        assert (
+            qualification_probability_exact(paper_gaussian, np.zeros(2), 0.0) == 0.0
+        )
+
+    def test_rejects_unknown_method(self, paper_gaussian):
+        with pytest.raises(GeometryError):
+            qualification_probability_exact(
+                paper_gaussian, np.zeros(2), 1.0, method="magic"
+            )
+
+    def test_high_dimensional_consistency(self, rng):
+        sigma = random_spd(rng, 9)
+        g = Gaussian(rng.standard_normal(9), sigma)
+        point = g.mean + rng.standard_normal(9)
+        delta = float(np.sqrt(np.trace(sigma)))
+        p_i = qualification_probability_exact(g, point, delta, method="imhof")
+        p_r = qualification_probability_exact(g, point, delta, method="ruben")
+        assert p_i == pytest.approx(p_r, abs=1e-6)
+        samples = g.sample(200_000, rng)
+        frac = np.mean(np.sum((samples - point) ** 2, axis=1) <= delta**2)
+        assert p_i == pytest.approx(frac, abs=0.005)
+
+    def test_probability_decreases_with_distance(self, paper_gaussian):
+        probs = [
+            qualification_probability_exact(
+                paper_gaussian, paper_gaussian.mean + np.array([d, 0.0]), 25.0
+            )
+            for d in (0.0, 20.0, 40.0, 80.0)
+        ]
+        assert all(a > b for a, b in zip(probs, probs[1:]))

@@ -1,0 +1,157 @@
+"""Tests for radial mass functions — including the paper's numeric anchors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.errors import GeometryError
+from repro.gaussian.radial import (
+    alpha_for_mass,
+    offset_sphere_mass,
+    r_theta,
+    radial_cdf,
+    radial_ppf,
+)
+
+
+class TestRadialCdf:
+    def test_matches_chi_distribution(self):
+        for dim in (1, 2, 3, 9, 15):
+            r = np.linspace(0.01, 6.0, 30)
+            np.testing.assert_allclose(
+                radial_cdf(dim, r), stats.chi.cdf(r, dim), rtol=1e-12
+            )
+
+    def test_paper_anchor_2d_39_percent(self):
+        # Section VI: "if a query object obeys 2D pnorm ... the probability
+        # that the object is located within distance one ... is 39%".
+        assert radial_cdf(2, 1.0) == pytest.approx(0.393, abs=0.001)
+
+    def test_paper_anchor_9d_9_percent(self):
+        # "for the 9D case, the probability within distance two ... is only 9%".
+        assert radial_cdf(9, 2.0) == pytest.approx(0.09, abs=0.005)
+
+    def test_monotone_in_radius(self):
+        r = np.linspace(0, 5, 50)
+        values = radial_cdf(5, r)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_decreasing_in_dimension(self):
+        # Curse of dimensionality (Fig. 17): at fixed radius, mass shrinks
+        # as the dimension grows.
+        masses = [radial_cdf(d, 2.0) for d in (2, 3, 5, 9, 15)]
+        assert all(a > b for a, b in zip(masses, masses[1:]))
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(GeometryError):
+            radial_cdf(2, -1.0)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(GeometryError):
+            radial_cdf(0, 1.0)
+
+
+class TestRadialPpf:
+    @given(st.integers(1, 20), st.floats(0.001, 0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_of_cdf(self, dim, mass):
+        r = radial_ppf(dim, mass)
+        assert radial_cdf(dim, r) == pytest.approx(mass, abs=1e-9)
+
+    def test_zero_mass(self):
+        assert radial_ppf(3, 0.0) == 0.0
+
+    def test_rejects_mass_one(self):
+        with pytest.raises(GeometryError):
+            radial_ppf(2, 1.0)
+
+
+class TestRTheta:
+    def test_paper_anchor_2d(self):
+        # rtheta for the 98% region (theta=0.01) is 2.79 in the paper.
+        assert r_theta(2, 0.01) == pytest.approx(2.79, abs=0.01)
+
+    def test_paper_anchor_9d_98(self):
+        assert r_theta(9, 0.01) == pytest.approx(4.44, abs=0.01)
+
+    def test_paper_anchor_9d_40(self):
+        # Section VI-A: theta = 40% gives rtheta = 2.32.
+        assert r_theta(9, 0.40) == pytest.approx(2.32, abs=0.01)
+
+    def test_encloses_exactly_1_minus_2theta(self):
+        for theta in (0.01, 0.1, 0.4):
+            assert radial_cdf(2, r_theta(2, theta)) == pytest.approx(
+                1 - 2 * theta, abs=1e-10
+            )
+
+    def test_decreasing_in_theta(self):
+        radii = [r_theta(3, t) for t in (0.01, 0.1, 0.2, 0.4)]
+        assert all(a > b for a, b in zip(radii, radii[1:]))
+
+    @pytest.mark.parametrize("theta", [0.0, 0.5, 0.7, -0.1])
+    def test_rejects_theta_outside_open_half(self, theta):
+        with pytest.raises(GeometryError):
+            r_theta(2, theta)
+
+
+class TestOffsetSphereMass:
+    def test_zero_offset_equals_radial_cdf(self):
+        assert offset_sphere_mass(3, 1.5, 0.0) == pytest.approx(
+            radial_cdf(3, 1.5), rel=1e-10
+        )
+
+    def test_matches_monte_carlo(self, rng):
+        dim, delta, alpha = 2, 2.0, 1.5
+        z = rng.standard_normal((400_000, dim))
+        offset = np.zeros(dim)
+        offset[0] = alpha
+        frac = np.mean(np.sum((z - offset) ** 2, axis=1) <= delta**2)
+        assert offset_sphere_mass(dim, delta, alpha) == pytest.approx(
+            frac, abs=0.003
+        )
+
+    def test_decreasing_in_offset(self):
+        masses = [offset_sphere_mass(2, 1.0, a) for a in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert all(a > b for a, b in zip(masses, masses[1:]))
+
+    def test_zero_radius_mass_is_zero(self):
+        assert offset_sphere_mass(2, 0.0, 1.0) == 0.0
+
+
+class TestAlphaForMass:
+    @given(
+        st.integers(1, 9),
+        st.floats(0.3, 4.0),
+        st.floats(0.001, 0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, dim, delta, theta):
+        alpha = alpha_for_mass(dim, delta, theta)
+        if alpha is None:
+            # No solution means even the centred ball is too light.
+            assert radial_cdf(dim, delta) < theta
+        else:
+            assert offset_sphere_mass(dim, delta, alpha) == pytest.approx(
+                theta, abs=1e-9
+            )
+
+    def test_none_when_unreachable(self):
+        # In 9-D a sphere of radius 1 holds ~0.04% of the mass: theta = 0.5
+        # is unreachable at any offset.
+        assert alpha_for_mass(9, 1.0, 0.5) is None
+
+    def test_zero_alpha_at_max_mass(self):
+        peak = radial_cdf(2, 1.0)
+        assert alpha_for_mass(2, 1.0, peak) == pytest.approx(0.0, abs=1e-6)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GeometryError):
+            alpha_for_mass(2, 0.0, 0.1)
+        with pytest.raises(GeometryError):
+            alpha_for_mass(2, 1.0, 0.0)
+        with pytest.raises(GeometryError):
+            alpha_for_mass(2, 1.0, 1.0)

@@ -1,0 +1,133 @@
+"""Tests for eigenbasis and whitening transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotPositiveDefiniteError
+from repro.geometry.transforms import (
+    EigenTransform,
+    WhiteningTransform,
+    spectral_decomposition,
+)
+from tests.conftest import random_spd
+
+
+class TestSpectralDecomposition:
+    def test_reconstruction(self, rng):
+        sigma = random_spd(rng, 4)
+        eigenvalues, basis = spectral_decomposition(sigma)
+        np.testing.assert_allclose(
+            basis @ np.diag(eigenvalues) @ basis.T, sigma, atol=1e-10
+        )
+
+    def test_descending_order(self, rng):
+        eigenvalues, _ = spectral_decomposition(random_spd(rng, 5))
+        assert np.all(np.diff(eigenvalues) <= 0)
+
+    def test_orthonormal_basis(self, rng):
+        _, basis = spectral_decomposition(random_spd(rng, 3))
+        np.testing.assert_allclose(basis.T @ basis, np.eye(3), atol=1e-12)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(NotPositiveDefiniteError):
+            spectral_decomposition(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(NotPositiveDefiniteError):
+            spectral_decomposition(np.ones((2, 3)))
+
+    def test_rejects_negative_definite(self):
+        with pytest.raises(NotPositiveDefiniteError):
+            spectral_decomposition(-np.eye(2))
+
+    def test_rejects_singular(self):
+        with pytest.raises(NotPositiveDefiniteError):
+            spectral_decomposition(np.zeros((2, 2)))
+
+
+class TestEigenTransform:
+    def test_round_trip(self, rng):
+        sigma = random_spd(rng, 3)
+        transform = EigenTransform(rng.standard_normal(3), sigma)
+        pts = rng.standard_normal((20, 3))
+        np.testing.assert_allclose(
+            transform.to_world(transform.to_eigen(pts)), pts, atol=1e-10
+        )
+
+    def test_center_maps_to_origin(self, rng):
+        center = np.array([3.0, -2.0])
+        transform = EigenTransform(center, random_spd(rng, 2))
+        np.testing.assert_allclose(
+            transform.to_eigen(center[None, :]), [[0.0, 0.0]], atol=1e-12
+        )
+
+    def test_preserves_distances(self, rng):
+        # Rotation about the centre: pairwise distances are invariant.
+        transform = EigenTransform([1.0, 2.0, 3.0], random_spd(rng, 3))
+        pts = rng.standard_normal((10, 3))
+        y = transform.to_eigen(pts)
+        orig = np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2)
+        mapped = np.linalg.norm(y[:, None, :] - y[None, :, :], axis=2)
+        np.testing.assert_allclose(mapped, orig, atol=1e-9)
+
+    def test_diagonalizes_quadratic_form(self, rng, paper_sigma_10):
+        # Property 3: on the ellipsoid, sum(lambda_i_inv * y_i^2) = r^2 with
+        # Sigma eigenvalues; equivalently the Mahalanobis form becomes
+        # diagonal in eigen coordinates.
+        transform = EigenTransform([0.0, 0.0], paper_sigma_10)
+        pts = rng.standard_normal((50, 2)) * 10
+        y = transform.to_eigen(pts)
+        diag_form = np.sum(y**2 / transform.eigenvalues, axis=1)
+        inv = np.linalg.inv(paper_sigma_10)
+        direct = np.einsum("ij,jk,ik->i", pts, inv, pts)
+        np.testing.assert_allclose(diag_form, direct, rtol=1e-9)
+
+
+class TestWhiteningTransform:
+    def test_round_trip(self, rng):
+        w = WhiteningTransform(rng.standard_normal(4), random_spd(rng, 4))
+        pts = rng.standard_normal((15, 4))
+        np.testing.assert_allclose(w.unwhiten(w.whiten(pts)), pts, atol=1e-9)
+
+    def test_whitened_samples_are_standard_normal(self, rng):
+        sigma = random_spd(rng, 2, scale=5.0)
+        mean = np.array([10.0, -20.0])
+        chol = np.linalg.cholesky(sigma)
+        samples = mean + rng.standard_normal((50_000, 2)) @ chol.T
+        z = WhiteningTransform(mean, sigma).whiten(samples)
+        np.testing.assert_allclose(z.mean(axis=0), [0.0, 0.0], atol=0.03)
+        np.testing.assert_allclose(np.cov(z.T), np.eye(2), atol=0.03)
+
+    def test_mahalanobis_matches_direct(self, rng):
+        sigma = random_spd(rng, 3)
+        mean = rng.standard_normal(3)
+        w = WhiteningTransform(mean, sigma)
+        pts = rng.standard_normal((20, 3)) * 3
+        inv = np.linalg.inv(sigma)
+        expected = np.sqrt(
+            np.einsum("ij,jk,ik->i", pts - mean, inv, pts - mean)
+        )
+        np.testing.assert_allclose(w.mahalanobis(pts), expected, rtol=1e-8)
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_identity_covariance_is_rigid_translation(self, dim):
+        # With Sigma = I the whitening is translation composed with an
+        # orthogonal map (the eigenbasis of I is any basis), so Euclidean
+        # distances from the centre are preserved exactly.
+        rng = np.random.default_rng(dim)
+        center = rng.standard_normal(dim)
+        w = WhiteningTransform(center, np.eye(dim))
+        pts = rng.standard_normal((5, dim))
+        np.testing.assert_allclose(
+            np.linalg.norm(w.whiten(pts), axis=1),
+            np.linalg.norm(pts - center, axis=1),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            w.mahalanobis(pts), np.linalg.norm(pts - center, axis=1), atol=1e-12
+        )

@@ -1,0 +1,95 @@
+"""Tests for the from-scratch Halton sequence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IntegrationError
+from repro.integrate.halton import first_primes, halton_sequence, radical_inverse
+
+
+class TestFirstPrimes:
+    def test_known_prefix(self):
+        assert first_primes(10) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_single(self):
+        assert first_primes(1) == [2]
+
+    def test_rejects_zero(self):
+        with pytest.raises(IntegrationError):
+            first_primes(0)
+
+
+class TestRadicalInverse:
+    def test_base2_known_values(self):
+        # 1 -> 0.1b = 0.5, 2 -> 0.01b = 0.25, 3 -> 0.11b = 0.75
+        out = radical_inverse(np.array([1, 2, 3, 4]), 2)
+        np.testing.assert_allclose(out, [0.5, 0.25, 0.75, 0.125])
+
+    def test_base3_known_values(self):
+        out = radical_inverse(np.array([1, 2, 3]), 3)
+        np.testing.assert_allclose(out, [1 / 3, 2 / 3, 1 / 9])
+
+    def test_zero_maps_to_zero(self):
+        assert radical_inverse(np.array([0]), 5)[0] == 0.0
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(IntegrationError):
+            radical_inverse(np.array([1]), 1)
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(IntegrationError):
+            radical_inverse(np.array([-1]), 2)
+
+    @given(st.integers(2, 7))
+    @settings(max_examples=10, deadline=None)
+    def test_all_values_in_unit_interval(self, base):
+        out = radical_inverse(np.arange(1, 200), base)
+        assert np.all((out >= 0) & (out < 1))
+
+    @given(st.integers(2, 7))
+    @settings(max_examples=10, deadline=None)
+    def test_values_distinct(self, base):
+        out = radical_inverse(np.arange(1, 200), base)
+        assert len(np.unique(out)) == 199
+
+
+class TestHaltonSequence:
+    def test_shape(self):
+        pts = halton_sequence(100, 3)
+        assert pts.shape == (100, 3)
+
+    def test_first_point(self):
+        pts = halton_sequence(1, 2)
+        np.testing.assert_allclose(pts[0], [0.5, 1 / 3])
+
+    def test_low_discrepancy_beats_uniform_spacing(self):
+        # Empirical star-discrepancy proxy in 1-D: max gap between sorted
+        # points should shrink like ~1/n.
+        pts = np.sort(halton_sequence(1000, 1)[:, 0])
+        gaps = np.diff(np.concatenate([[0.0], pts, [1.0]]))
+        assert gaps.max() < 5.0 / 1000
+
+    def test_mean_near_half(self):
+        pts = halton_sequence(5000, 4)
+        np.testing.assert_allclose(pts.mean(axis=0), 0.5, atol=0.01)
+
+    def test_shift_wraps(self):
+        base = halton_sequence(50, 2)
+        shifted = halton_sequence(50, 2, shift=np.array([0.25, 0.75]))
+        np.testing.assert_allclose(shifted, np.mod(base + [0.25, 0.75], 1.0))
+
+    def test_start_offset(self):
+        a = halton_sequence(10, 2, start=5)
+        b = halton_sequence(14, 2, start=1)
+        np.testing.assert_allclose(a, b[4:])
+
+    def test_rejects_bad_shift_shape(self):
+        with pytest.raises(IntegrationError):
+            halton_sequence(10, 2, shift=np.zeros(3))
+
+    def test_zero_points(self):
+        assert halton_sequence(0, 2).shape == (0, 2)

@@ -1,0 +1,268 @@
+"""Tests for the Hilbert curve, the SVG figures, top-k ranking and the
+bisector NN filter."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.database import SpatialDatabase
+from repro.core.nn import bisector_upper_bounds, halfspace_win_probability
+from repro.errors import IndexError_, QueryError, ReproError
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.quadform import qualification_probability_exact
+from repro.index.hilbert import hilbert_index, hilbert_order
+from repro.index.linear import LinearScanIndex
+from repro.index.rtree import RStarTree
+from repro.viz import (
+    SvgDocument,
+    render_radial_figure,
+    render_regions_figure,
+    render_road_network,
+)
+
+
+class TestHilbertIndex:
+    def test_bijective_on_small_grid(self):
+        # Every cell of a 2-D 3-bit grid maps to a distinct curve position
+        # covering 0 .. 4^3 - 1.
+        coords = np.array(
+            [[x, y] for x in range(8) for y in range(8)], dtype=np.int64
+        )
+        indices = hilbert_index(coords, bits=3)
+        assert sorted(indices.tolist()) == list(range(64))
+
+    def test_locality_consecutive_cells_adjacent(self):
+        # Walking the curve, consecutive positions differ by exactly one
+        # grid step — the defining Hilbert property.
+        coords = np.array(
+            [[x, y] for x in range(16) for y in range(16)], dtype=np.int64
+        )
+        indices = hilbert_index(coords, bits=4)
+        by_curve = coords[np.argsort(indices)]
+        steps = np.abs(np.diff(by_curve, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_3d_bijective(self):
+        coords = np.array(
+            [[x, y, z] for x in range(4) for y in range(4) for z in range(4)],
+            dtype=np.int64,
+        )
+        indices = hilbert_index(coords, bits=2)
+        assert sorted(indices.tolist()) == list(range(64))
+
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            hilbert_index(np.array([[0.5]]), bits=2)  # non-integer
+        with pytest.raises(IndexError_):
+            hilbert_index(np.array([[8]], dtype=np.int64), bits=3)  # out of range
+        with pytest.raises(IndexError_):
+            hilbert_index(np.array([[1]] * 2, dtype=np.int64).T, bits=40)  # overflow
+        with pytest.raises(IndexError_):
+            hilbert_order(np.empty((0, 2)))
+
+    def test_order_handles_degenerate_dimension(self):
+        pts = np.column_stack([np.arange(10.0), np.zeros(10)])
+        order = hilbert_order(pts, bits=4)
+        assert sorted(order.tolist()) == list(range(10))
+
+
+class TestHilbertBulkLoad:
+    def test_queries_match_oracle(self, rng):
+        pts = rng.random((3000, 2)) * 100
+        tree = RStarTree(2, max_entries=20)
+        tree.bulk_load(range(3000), pts, method="hilbert")
+        tree.check_invariants()
+        oracle = LinearScanIndex(2)
+        oracle.bulk_load(range(3000), pts)
+        from repro.geometry.mbr import Rect
+
+        for _ in range(8):
+            lo = rng.random(2) * 70
+            rect = Rect(lo, lo + 20)
+            assert sorted(tree.range_search_rect(rect)) == sorted(
+                oracle.range_search_rect(rect)
+            )
+        got = tree.knn([50.0, 50.0], 10)
+        expected = oracle.knn([50.0, 50.0], 10)
+        assert [i for i, _ in got] == [i for i, _ in expected]
+        np.testing.assert_allclose(
+            [d for _, d in got], [d for _, d in expected], rtol=1e-12
+        )
+
+    def test_unknown_method_rejected(self):
+        tree = RStarTree(2)
+        with pytest.raises(IndexError_):
+            tree.bulk_load([0], np.zeros((1, 2)), method="zorder")
+
+    def test_competitive_node_accesses_on_skewed_data(self):
+        from repro.datasets.synthetic import clustered_points
+        from repro.geometry.mbr import Rect
+
+        pts = clustered_points(20_000, 2, n_clusters=12, spread=15.0, seed=9)
+        accesses = {}
+        for method in ("str", "hilbert"):
+            tree = RStarTree(2, max_entries=32)
+            tree.bulk_load(range(20_000), pts, method=method)
+            tree.stats.reset()
+            rng = np.random.default_rng(4)
+            for _ in range(40):
+                lo = rng.random(2) * 900
+                tree.range_search_rect(Rect(lo, lo + 60))
+            accesses[method] = tree.stats.node_accesses
+        # Both packings must be in the same ballpark (within 2x).
+        ratio = accesses["hilbert"] / accesses["str"]
+        assert 0.5 < ratio < 2.0
+
+
+class TestSvgDocument:
+    def test_valid_xml(self):
+        doc = SvgDocument(100, 80)
+        doc.rect(1, 2, 10, 10, rx=2, fill="red")
+        doc.circle(5, 5, 3)
+        doc.ellipse(10, 10, 6, 3, rotation_degrees=30)
+        doc.line(0, 0, 10, 10, stroke="black")
+        doc.polyline([(0, 0), (5, 5), (9, 2)], stroke="blue")
+        doc.polygon([(0, 0), (5, 5), (9, 2)], fill="green")
+        doc.text(3, 9, "hello <&> world")
+        root = ET.fromstring(doc.to_string())
+        assert root.tag.endswith("svg")
+        assert len(list(root)) == 7
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SvgDocument(0, 10)
+        doc = SvgDocument(10, 10)
+        with pytest.raises(ReproError):
+            doc.circle(0, 0, -1)
+        with pytest.raises(ReproError):
+            doc.rect(0, 0, -1, 1)
+        with pytest.raises(ReproError):
+            doc.polyline([(0, 0)])
+
+    def test_save(self, tmp_path):
+        doc = SvgDocument(10, 10)
+        doc.circle(5, 5, 2)
+        target = doc.save(tmp_path / "out.svg")
+        assert target.read_text().startswith("<svg")
+
+
+class TestFigures:
+    @pytest.mark.parametrize("gamma", [1.0, 10.0, 100.0])
+    def test_regions_figure_parses(self, gamma):
+        text = render_regions_figure(gamma).to_string()
+        root = ET.fromstring(text)
+        tags = [child.tag.split("}")[-1] for child in root]
+        assert "ellipse" in tags  # the theta-region
+        assert tags.count("circle") >= 1  # BF radii
+        assert "polygon" in tags  # the oblique box
+
+    def test_radial_figure_has_all_curves(self):
+        root = ET.fromstring(render_radial_figure().to_string())
+        polylines = [c for c in root if c.tag.split("}")[-1] == "polyline"]
+        assert len(polylines) == 5
+
+    def test_road_network_figure(self, rng):
+        pts = rng.random((500, 2)) * 1000
+        root = ET.fromstring(render_road_network(pts).to_string())
+        circles = [c for c in root if c.tag.split("}")[-1] == "circle"]
+        assert len(circles) == 500
+
+    def test_road_network_subsamples(self, rng):
+        pts = rng.random((1000, 2))
+        root = ET.fromstring(
+            render_road_network(pts, max_points=100).to_string()
+        )
+        circles = [c for c in root if c.tag.split("}")[-1] == "circle"]
+        assert len(circles) == 100
+
+
+class TestTopKByProbability:
+    @pytest.fixture(scope="class")
+    def world(self):
+        rng = np.random.default_rng(17)
+        points = rng.random((2500, 2)) * 1000
+        db = SpatialDatabase(points)
+        sigma = 10.0 * np.array([[7.0, 2 * np.sqrt(3)], [2 * np.sqrt(3), 3.0]])
+        return db, points, Gaussian([500.0, 500.0], sigma)
+
+    def test_matches_brute_force(self, world):
+        db, points, gaussian = world
+        top = db.top_k_by_probability(gaussian, 25.0, 12)
+        probs = np.array(
+            [
+                qualification_probability_exact(gaussian, p, 25.0, method="ruben")
+                for p in points
+            ]
+        )
+        expected_ids = np.argsort(-probs)[:12]
+        assert [i for i, _ in top] == [int(i) for i in expected_ids]
+        for (_, got), i in zip(top, expected_ids):
+            assert got == pytest.approx(float(probs[i]), abs=1e-9)
+
+    def test_probabilities_descending(self, world):
+        db, _, gaussian = world
+        top = db.top_k_by_probability(gaussian, 25.0, 8)
+        values = [p for _, p in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_k_larger_than_region_expands(self, world):
+        db, _, gaussian = world
+        # Ask for more objects than clear the initial theta floor: the
+        # region must expand until every non-negligible object is ranked;
+        # objects with probability below the 1e-12 floor are omitted.
+        small = db.top_k_by_probability(gaussian, 25.0, 10, theta_floor=0.3)
+        big = db.top_k_by_probability(gaussian, 25.0, 60, theta_floor=0.3)
+        assert len(big) > len(small)
+        assert big[: len(small)] == small  # prefix-stable ranking
+        values = [p for _, p in big]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self, world):
+        db, _, gaussian = world
+        with pytest.raises(QueryError):
+            db.top_k_by_probability(gaussian, 25.0, 0)
+        with pytest.raises(QueryError):
+            db.top_k_by_probability(gaussian, 25.0, 1, theta_floor=0.7)
+
+
+class TestBisectorFilter:
+    def test_halfspace_probability_matches_monte_carlo(self, rng, paper_gaussian):
+        candidate = paper_gaussian.mean + np.array([5.0, -3.0])
+        competitor = paper_gaussian.mean + np.array([-8.0, 6.0])
+        exact = halfspace_win_probability(paper_gaussian, candidate, competitor)
+        samples = paper_gaussian.sample(300_000, rng)
+        wins = np.mean(
+            np.linalg.norm(samples - candidate, axis=1)
+            <= np.linalg.norm(samples - competitor, axis=1)
+        )
+        assert exact == pytest.approx(wins, abs=0.004)
+
+    def test_identical_points_probability_one(self, paper_gaussian):
+        p = paper_gaussian.mean + 1.0
+        assert halfspace_win_probability(paper_gaussian, p, p) == 1.0
+
+    def test_bounds_are_valid_upper_bounds(self, rng, paper_gaussian):
+        candidates = paper_gaussian.mean + rng.uniform(-40, 40, size=(30, 2))
+        bounds = bisector_upper_bounds(paper_gaussian, candidates)
+        # Monte Carlo NN probabilities.
+        samples = paper_gaussian.sample(40_000, rng)
+        d2 = (
+            np.einsum("ij,ij->i", samples, samples)[:, None]
+            - 2.0 * samples @ candidates.T
+            + np.einsum("ij,ij->i", candidates, candidates)[None, :]
+        )
+        wins = np.bincount(np.argmin(d2, axis=1), minlength=30) / 40_000
+        stderr = np.sqrt(wins * (1 - wins) / 40_000)
+        assert np.all(bounds + 4 * stderr + 1e-9 >= wins)
+
+    def test_shapes(self, paper_gaussian):
+        assert bisector_upper_bounds(paper_gaussian, np.empty((0, 2))).size == 0
+        single = bisector_upper_bounds(paper_gaussian, np.zeros((1, 2)))
+        assert single[0] == 1.0
+
+    def test_wrong_dim_rejected(self, paper_gaussian):
+        with pytest.raises(QueryError):
+            halfspace_win_probability(paper_gaussian, np.zeros(3), np.zeros(2))

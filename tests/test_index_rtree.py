@@ -1,0 +1,321 @@
+"""Tests for the from-scratch R*-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.geometry.mbr import Rect
+from repro.index.linear import LinearScanIndex
+from repro.index.rtree import RStarTree
+from repro.index.split import rstar_split
+
+
+def build_pair(points: np.ndarray, max_entries: int = 16):
+    """An R*-tree and a linear-scan oracle over the same points."""
+    tree = RStarTree(points.shape[1], max_entries=max_entries)
+    oracle = LinearScanIndex(points.shape[1])
+    for i, p in enumerate(points):
+        tree.insert(i, p)
+        oracle.insert(i, p)
+    return tree, oracle
+
+
+class TestConstruction:
+    def test_parameters_validated(self):
+        with pytest.raises(IndexError_):
+            RStarTree(0)
+        with pytest.raises(IndexError_):
+            RStarTree(2, max_entries=3)
+        with pytest.raises(IndexError_):
+            RStarTree(2, max_entries=10, min_entries=6)  # > M/2
+        with pytest.raises(IndexError_):
+            RStarTree(2, max_entries=10, min_entries=1)
+
+    def test_default_min_entries_is_40_percent(self):
+        tree = RStarTree(2, max_entries=50)
+        assert tree.min_entries == 20
+
+    def test_empty_tree(self):
+        tree = RStarTree(2)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.range_search_rect(Rect([0, 0], [1, 1])) == []
+        assert tree.knn([0.0, 0.0], 3) == []
+
+
+class TestInsertion:
+    def test_duplicate_id_rejected(self):
+        tree = RStarTree(2)
+        tree.insert(1, [0.0, 0.0])
+        with pytest.raises(IndexError_):
+            tree.insert(1, [1.0, 1.0])
+
+    def test_wrong_dim_rejected(self):
+        tree = RStarTree(2)
+        with pytest.raises(IndexError_):
+            tree.insert(1, [0.0])
+
+    def test_non_finite_rejected(self):
+        tree = RStarTree(2)
+        with pytest.raises(IndexError_):
+            tree.insert(1, [np.inf, 0.0])
+
+    def test_get_round_trip(self, rng):
+        tree = RStarTree(3)
+        pts = rng.random((20, 3))
+        for i, p in enumerate(pts):
+            tree.insert(i, p)
+        for i, p in enumerate(pts):
+            np.testing.assert_array_equal(tree.get(i), p)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(IndexError_):
+            RStarTree(2).get(99)
+
+    def test_invariants_after_many_inserts(self, rng):
+        tree = RStarTree(2, max_entries=8)
+        for i, p in enumerate(rng.random((500, 2)) * 100):
+            tree.insert(i, p)
+        tree.check_invariants()
+        assert tree.height >= 3
+        assert tree.stats.splits > 0
+        assert tree.stats.reinsertions > 0
+
+    def test_duplicate_points_different_ids_allowed(self):
+        tree = RStarTree(2, max_entries=4)
+        for i in range(50):
+            tree.insert(i, [1.0, 1.0])
+        tree.check_invariants()
+        assert sorted(tree.range_search_rect(Rect([1, 1], [1, 1]))) == list(range(50))
+
+
+class TestRangeSearch:
+    def test_matches_linear_scan(self, rng):
+        pts = rng.random((800, 2)) * 100
+        tree, oracle = build_pair(pts)
+        for _ in range(20):
+            lo = rng.random(2) * 80
+            rect = Rect(lo, lo + rng.random(2) * 30)
+            assert sorted(tree.range_search_rect(rect)) == sorted(
+                oracle.range_search_rect(rect)
+            )
+
+    def test_sphere_matches_linear_scan(self, rng):
+        pts = rng.random((600, 3)) * 50
+        tree, oracle = build_pair(pts)
+        for _ in range(15):
+            center = rng.random(3) * 50
+            radius = rng.random() * 15
+            assert sorted(tree.range_search_sphere(center, radius)) == sorted(
+                oracle.range_search_sphere(center, radius)
+            )
+
+    def test_wrong_dim_query_rejected(self):
+        tree = RStarTree(2)
+        with pytest.raises(IndexError_):
+            tree.range_search_rect(Rect([0.0], [1.0]))
+
+    def test_negative_radius_rejected(self):
+        tree = RStarTree(2)
+        tree.insert(0, [0.0, 0.0])
+        with pytest.raises(IndexError_):
+            tree.range_search_sphere([0.0, 0.0], -1.0)
+
+    def test_stats_accumulate(self, rng):
+        pts = rng.random((200, 2))
+        tree, _ = build_pair(pts)
+        tree.stats.reset()
+        tree.range_search_rect(Rect([0.0, 0.0], [1.0, 1.0]))
+        assert tree.stats.queries == 1
+        assert tree.stats.node_accesses >= tree.height
+
+
+class TestKnn:
+    def test_matches_linear_scan(self, rng):
+        pts = rng.random((700, 2)) * 100
+        tree, oracle = build_pair(pts)
+        for _ in range(15):
+            q = rng.random(2) * 100
+            k = int(rng.integers(1, 20))
+            got = tree.knn(q, k)
+            expected = oracle.knn(q, k)
+            assert [i for i, _ in got] == [i for i, _ in expected]
+            np.testing.assert_allclose(
+                [d for _, d in got], [d for _, d in expected], rtol=1e-12
+            )
+
+    def test_k_larger_than_size(self, rng):
+        pts = rng.random((5, 2))
+        tree, _ = build_pair(pts)
+        assert len(tree.knn([0.5, 0.5], 10)) == 5
+
+    def test_k_zero_rejected(self):
+        tree = RStarTree(2)
+        tree.insert(0, [0.0, 0.0])
+        with pytest.raises(IndexError_):
+            tree.knn([0.0, 0.0], 0)
+
+    def test_distances_sorted(self, rng):
+        pts = rng.random((300, 2))
+        tree, _ = build_pair(pts)
+        distances = [d for _, d in tree.knn([0.5, 0.5], 25)]
+        assert distances == sorted(distances)
+
+
+class TestDeletion:
+    def test_delete_then_search(self, rng):
+        pts = rng.random((300, 2)) * 10
+        tree, oracle = build_pair(pts, max_entries=8)
+        victims = rng.choice(300, size=150, replace=False)
+        for v in victims:
+            tree.delete(int(v))
+            oracle.delete(int(v))
+        tree.check_invariants()
+        rect = Rect([0.0, 0.0], [10.0, 10.0])
+        assert sorted(tree.range_search_rect(rect)) == sorted(
+            oracle.range_search_rect(rect)
+        )
+
+    def test_delete_all(self, rng):
+        pts = rng.random((100, 2))
+        tree, _ = build_pair(pts, max_entries=8)
+        for i in range(100):
+            tree.delete(i)
+        assert len(tree) == 0
+        assert tree.height == 1
+        tree.check_invariants()
+
+    def test_delete_unknown_rejected(self):
+        tree = RStarTree(2)
+        with pytest.raises(IndexError_):
+            tree.delete(5)
+
+    def test_interleaved_insert_delete(self, rng):
+        tree = RStarTree(2, max_entries=8)
+        oracle = LinearScanIndex(2)
+        next_id = 0
+        live: list[int] = []
+        for step in range(1200):
+            if live and rng.random() < 0.4:
+                victim = live.pop(int(rng.integers(len(live))))
+                tree.delete(victim)
+                oracle.delete(victim)
+            else:
+                p = rng.random(2) * 100
+                tree.insert(next_id, p)
+                oracle.insert(next_id, p)
+                live.append(next_id)
+                next_id += 1
+        tree.check_invariants()
+        rect = Rect([20.0, 20.0], [70.0, 70.0])
+        assert sorted(tree.range_search_rect(rect)) == sorted(
+            oracle.range_search_rect(rect)
+        )
+
+
+class TestBulkLoad:
+    def test_str_matches_linear(self, rng):
+        pts = rng.random((2000, 2)) * 100
+        tree = RStarTree(2, max_entries=20)
+        tree.bulk_load(range(2000), pts)
+        tree.check_invariants()
+        oracle = LinearScanIndex(2)
+        oracle.bulk_load(range(2000), pts)
+        rect = Rect([10.0, 10.0], [40.0, 55.0])
+        assert sorted(tree.range_search_rect(rect)) == sorted(
+            oracle.range_search_rect(rect)
+        )
+
+    def test_str_tree_is_shallower_or_equal(self, rng):
+        pts = rng.random((1000, 2))
+        packed = RStarTree(2, max_entries=16)
+        packed.bulk_load(range(1000), pts)
+        dynamic = RStarTree(2, max_entries=16)
+        for i, p in enumerate(pts):
+            dynamic.insert(i, p)
+        assert packed.height <= dynamic.height
+        assert packed.node_count() <= dynamic.node_count()
+
+    def test_bulk_load_requires_empty(self, rng):
+        tree = RStarTree(2)
+        tree.insert(0, [0.0, 0.0])
+        with pytest.raises(IndexError_):
+            tree.bulk_load([1], np.zeros((1, 2)))
+
+    def test_bulk_load_rejects_duplicates(self):
+        tree = RStarTree(2)
+        with pytest.raises(IndexError_):
+            tree.bulk_load([1, 1], np.zeros((2, 2)))
+
+    def test_bulk_load_rejects_shape_mismatch(self):
+        tree = RStarTree(2)
+        with pytest.raises(IndexError_):
+            tree.bulk_load([0, 1], np.zeros((2, 3)))
+        with pytest.raises(IndexError_):
+            tree.bulk_load([0], np.zeros((2, 2)))
+
+    def test_bulk_load_empty_ok(self):
+        tree = RStarTree(2)
+        tree.bulk_load([], np.empty((0, 2)))
+        assert len(tree) == 0
+
+    def test_delete_after_bulk_load(self, rng):
+        pts = rng.random((500, 2))
+        tree = RStarTree(2, max_entries=10)
+        tree.bulk_load(range(500), pts)
+        for i in range(0, 500, 2):
+            tree.delete(i)
+        assert len(tree) == 250
+        assert sorted(tree.range_search_rect(Rect([0, 0], [1, 1]))) == list(
+            range(1, 500, 2)
+        )
+
+    def test_9d_bulk_load(self, rng):
+        pts = rng.standard_normal((3000, 9))
+        tree = RStarTree(9, max_entries=30)
+        tree.bulk_load(range(3000), pts)
+        oracle = LinearScanIndex(9)
+        oracle.bulk_load(range(3000), pts)
+        assert sorted(tree.range_search_sphere(np.zeros(9), 2.0)) == sorted(
+            oracle.range_search_sphere(np.zeros(9), 2.0)
+        )
+        got = tree.knn(np.zeros(9), 20)
+        expected = oracle.knn(np.zeros(9), 20)
+        assert [i for i, _ in got] == [i for i, _ in expected]
+
+
+class TestSplitAlgorithm:
+    def test_groups_partition_input(self, rng):
+        rects = [Rect.from_point(p) for p in rng.random((17, 2))]
+        decision = rstar_split(rects, min_entries=4)
+        combined = sorted(decision.group_a + decision.group_b)
+        assert combined == list(range(17))
+        assert len(decision.group_a) >= 4
+        assert len(decision.group_b) >= 4
+
+    def test_split_too_few_rejected(self):
+        rects = [Rect.from_point([0.0, 0.0])] * 3
+        with pytest.raises(IndexError_):
+            rstar_split(rects, min_entries=2)
+
+    def test_clusters_separate_cleanly(self):
+        # Two clearly separated clusters must not be mixed by the split.
+        left = [Rect.from_point([float(i) / 10, 0.0]) for i in range(6)]
+        right = [Rect.from_point([100.0 + float(i) / 10, 0.0]) for i in range(6)]
+        decision = rstar_split(left + right, min_entries=4)
+        group_a = set(decision.group_a)
+        assert group_a in ({0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11})
+        assert decision.overlap == 0.0
+
+    @given(st.integers(12, 40), st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_random_splits_respect_min_entries(self, n, m):
+        rng = np.random.default_rng(n * 31 + m)
+        rects = [Rect.from_point(p) for p in rng.random((n, 3))]
+        decision = rstar_split(rects, min_entries=m)
+        assert min(len(decision.group_a), len(decision.group_b)) >= m
+        assert sorted(decision.group_a + decision.group_b) == list(range(n))

@@ -1,0 +1,204 @@
+"""End-to-end assertions of the paper's numeric anchors and qualitative claims.
+
+These tests pin the reproduction to the paper: each one cites the table,
+figure or sentence it checks.  Scales are reduced where the full-size
+experiment lives in ``benchmarks/`` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    SPEC_ORDER,
+    _CountOnlyIntegrator,
+    region_geometry,
+)
+from repro.bench.harness import paper_sigma
+from repro.core.database import SpatialDatabase
+from repro.core.query import ProbabilisticRangeQuery
+from repro.datasets.roadnet import long_beach_like
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.radial import r_theta, radial_cdf
+from repro.integrate.exact import ExactIntegrator
+
+
+@pytest.fixture(scope="module")
+def road_db():
+    # A 12k-point slice of the road dataset keeps this module fast while
+    # preserving the spatial skew.
+    return SpatialDatabase(long_beach_like(12_000, seed=0).midpoints)
+
+
+class TestSectionIVAnchors:
+    def test_rtheta_2d_theta001(self):
+        """Section VI: 'the corresponding value rθ = 2.79 for the 2D case'."""
+        assert r_theta(2, 0.01) == pytest.approx(2.79, abs=0.01)
+
+    def test_rtheta_9d_theta001(self):
+        """Section VI: 'we need to use rθ = 4.44 for the 9D case'."""
+        assert r_theta(9, 0.01) == pytest.approx(4.44, abs=0.01)
+
+    def test_rtheta_9d_theta04(self):
+        """Section VI-A: 'the appropriate rθ was derived as rθ = 2.32'."""
+        assert r_theta(9, 0.40) == pytest.approx(2.32, abs=0.01)
+
+
+class TestFig17Anchors:
+    def test_2d_radius1_39_percent(self):
+        """Fig. 17 discussion: 2-D mass within radius 1 is 39 %."""
+        assert radial_cdf(2, 1.0) == pytest.approx(0.39, abs=0.005)
+
+    def test_9d_radius2_9_percent(self):
+        """Fig. 17 discussion: 9-D mass within radius 2 is only 9 %."""
+        assert radial_cdf(9, 2.0) == pytest.approx(0.09, abs=0.005)
+
+
+class TestFig13To16Anchors:
+    def test_fig13_rr_box(self):
+        """Fig. 13 labels the γ=10 RR box half-widths 23.4 and 15.3."""
+        g = region_geometry(10.0)
+        assert g["rr_half_width_x"] == pytest.approx(23.4, abs=0.1)
+        assert g["rr_half_width_y"] == pytest.approx(15.3, abs=0.1)
+
+    def test_fig15_fig16_rr_boxes(self):
+        """Figs. 15/16 label the γ=1 and γ=100 boxes 7.4/4.8 and 74.1/48.5."""
+        g1, g100 = region_geometry(1.0), region_geometry(100.0)
+        assert g1["rr_half_width_x"] == pytest.approx(7.4, abs=0.1)
+        assert g1["rr_half_width_y"] == pytest.approx(4.8, abs=0.1)
+        assert g100["rr_half_width_x"] == pytest.approx(74.1, abs=0.3)
+        assert g100["rr_half_width_y"] == pytest.approx(48.5, abs=0.3)
+
+    def test_fig14_all_region_is_intersection(self):
+        """Fig. 14: the ALL integration region is the smallest of the four."""
+        g = region_geometry(10.0)
+        assert g["all_area"] < g["rr_area"]
+        assert g["all_area"] < g["or_area"]
+        assert g["all_area"] < g["bf_area"]
+
+    def test_fig15_combination_barely_helps_for_gamma1(self):
+        """'combining the strategies does not improve the query cost very
+        much for γ = 1. In contrast ... efficient processing for γ = 100'."""
+        ratio = {}
+        for gamma in (1.0, 100.0):
+            g = region_geometry(gamma)
+            ratio[gamma] = min(g["rr_area"], g["bf_area"], g["or_area"]) / g["all_area"]
+        assert ratio[1.0] < 1.5  # little gain
+        assert ratio[100.0] > ratio[1.0] + 0.1  # visibly more gain
+
+
+class TestTableIIShape:
+    """Table II's qualitative structure on the (reduced) road data."""
+
+    @pytest.fixture(scope="class")
+    def counts(self, road_db):
+        gaussian_center = road_db.point(777)
+        counting = _CountOnlyIntegrator()
+        out = {}
+        for gamma in (1.0, 10.0, 100.0):
+            gaussian = Gaussian(gaussian_center, paper_sigma(gamma))
+            query = ProbabilisticRangeQuery(gaussian, 25.0, 0.01)
+            for spec in SPEC_ORDER:
+                engine = road_db.engine(strategies=spec, integrator=counting)
+                out[(gamma, spec)] = engine.execute(query).stats.integrations
+        return out
+
+    def test_all_is_best_for_every_gamma(self, counts):
+        for gamma in (1.0, 10.0, 100.0):
+            row = {spec: counts[(gamma, spec)] for spec in SPEC_ORDER}
+            assert row["all"] == min(row.values())
+
+    def test_candidates_grow_with_gamma(self, counts):
+        for spec in SPEC_ORDER:
+            assert counts[(1.0, spec)] <= counts[(10.0, spec)] <= counts[(100.0, spec)]
+
+    def test_combinations_dominate_components(self, counts):
+        for gamma in (1.0, 10.0, 100.0):
+            assert counts[(gamma, "rr+bf")] <= min(
+                counts[(gamma, "rr")], counts[(gamma, "bf")]
+            )
+            assert counts[(gamma, "rr+or")] <= counts[(gamma, "rr")]
+            assert counts[(gamma, "bf+or")] <= counts[(gamma, "bf")]
+
+    def test_results_match_oracle_for_default_query(self, road_db):
+        """Table II's ANS column: the result set is exact for every combo."""
+        gaussian = Gaussian(road_db.point(777), paper_sigma(10.0))
+        reference = None
+        for spec in SPEC_ORDER:
+            result = road_db.probabilistic_range_query(
+                gaussian, 25.0, 0.01, strategies=spec, integrator=ExactIntegrator()
+            )
+            if reference is None:
+                reference = set(result.ids)
+            assert set(result.ids) == reference
+
+
+class TestSectionVB3Claims:
+    """The sensitivity claims reported as text in §V-B-3."""
+
+    def test_theta_01_vs_001_nearly_same_cost(self, road_db):
+        """'the processing cost does not increase ... from θ = 0.1 to 0.01'
+        — the exponential tail makes the filtering regions almost equal."""
+        gaussian = Gaussian(road_db.point(300), paper_sigma(10.0))
+        counting = _CountOnlyIntegrator()
+        engine = road_db.engine(strategies="all", integrator=counting)
+        c_01 = engine.execute(
+            ProbabilisticRangeQuery(gaussian, 25.0, 0.1)
+        ).stats.integrations
+        c_001 = engine.execute(
+            ProbabilisticRangeQuery(gaussian, 25.0, 0.01)
+        ).stats.integrations
+        assert c_001 <= 1.6 * max(c_01, 1)
+
+    def test_spherical_covariance_equalizes_strategies(self, road_db):
+        """'When the matrix is close to being a unit matrix, the difference
+        between the three strategies becomes small'.
+
+        With an exactly spherical covariance our BF bound is *exact*
+        (λ∥ = λ⊥), so it integrates nothing; the comparison that remains
+        meaningful is the Phase-1 retrieval volume, which differs between
+        the square RR box and the BF disc by at most the box/disc ratio.
+        """
+        gaussian = Gaussian(road_db.point(300), 210.0 * np.eye(2))
+        counting = _CountOnlyIntegrator()
+        query = ProbabilisticRangeQuery(gaussian, 25.0, 0.01)
+        retrieved = {
+            spec: road_db.engine(strategies=spec, integrator=counting)
+            .execute(query)
+            .stats.retrieved
+            for spec in ("rr", "bf", "all")
+        }
+        assert max(retrieved.values()) <= 1.6 * min(retrieved.values())
+        # And BF alone already decides every candidate without integration.
+        bf_stats = (
+            road_db.engine(strategies="bf", integrator=counting)
+            .execute(query)
+            .stats
+        )
+        assert bf_stats.integrations == 0
+
+
+class TestSectionVIBehaviour:
+    def test_bf_loses_inner_hole_in_ill_shaped_9d(self):
+        """Section VI: '(λ⊥)^{d/2}|Σ|^{1/2} may become larger than one. That
+        means we cannot find an internal hole'."""
+        from repro.core.strategies import BoundingFunctionStrategy
+
+        eigenvalues = np.concatenate([[50.0], np.full(8, 0.02)])
+        gaussian = Gaussian(np.zeros(9), np.diag(eigenvalues))
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(ProbabilisticRangeQuery(gaussian, 0.7, 0.4))
+        assert strategy.alpha_lower is None
+
+    def test_spherical_bf_needs_no_integration(self):
+        """Section VI: 'if λ∥ = λ⊥ ... BF is the best method since it can
+        directly select answer objects'."""
+        from repro.core.strategies import BoundingFunctionStrategy, UNKNOWN
+
+        gaussian = Gaussian.isotropic(np.zeros(9), 1.0)
+        strategy = BoundingFunctionStrategy()
+        strategy.prepare(ProbabilisticRangeQuery(gaussian, 3.0, 0.2))
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((200, 9)) * 2
+        assert not np.any(strategy.classify(pts) == UNKNOWN)

@@ -1,0 +1,99 @@
+"""Tests for the paper-faithful Phase-1 mode and tree quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import _CountOnlyIntegrator
+from repro.core.database import SpatialDatabase
+from repro.core.engine import QueryEngine
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.strategies import make_strategies
+from repro.errors import QueryError
+from repro.gaussian.distribution import Gaussian
+from repro.index.rtree import RStarTree
+from repro.integrate.exact import ExactIntegrator
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(44)
+    points = rng.random((5000, 2)) * 1000
+    db = SpatialDatabase(points)
+    sigma = 10.0 * np.array([[7.0, 2 * np.sqrt(3)], [2 * np.sqrt(3), 3.0]])
+    return db, Gaussian([500.0, 500.0], sigma)
+
+
+class TestPhase1Modes:
+    def test_primary_mode_matches_paper_algorithm1(self, world):
+        # Algorithm 1: the R-tree is searched with the RR region only; OR
+        # and BF act as pure filters.  Retrieved counts must equal an
+        # RR-only Phase 1.
+        db, gaussian = world
+        query = ProbabilisticRangeQuery(gaussian, 25.0, 0.01)
+        counting = _CountOnlyIntegrator()
+        primary = db.engine(
+            strategies="all", integrator=counting, phase1="primary"
+        ).execute(query)
+        rr_only = db.engine(strategies="rr", integrator=counting).execute(query)
+        assert primary.stats.retrieved == rr_only.stats.retrieved
+
+    def test_intersect_retrieves_no_more_than_primary(self, world):
+        db, gaussian = world
+        query = ProbabilisticRangeQuery(gaussian, 25.0, 0.01)
+        counting = _CountOnlyIntegrator()
+        primary = db.engine(
+            strategies="all", integrator=counting, phase1="primary"
+        ).execute(query)
+        intersect = db.engine(strategies="all", integrator=counting).execute(query)
+        assert intersect.stats.retrieved <= primary.stats.retrieved
+
+    def test_results_identical_across_modes(self, world):
+        db, gaussian = world
+        for spec in ("all", "rr+bf", "bf+or"):
+            results = {
+                mode: db.probabilistic_range_query(
+                    gaussian, 25.0, 0.01, strategies=spec,
+                    integrator=ExactIntegrator(),
+                )
+                if mode == "intersect"
+                else db.engine(
+                    strategies=spec, integrator=ExactIntegrator(), phase1=mode
+                ).execute(ProbabilisticRangeQuery(gaussian, 25.0, 0.01))
+                for mode in ("intersect", "primary")
+            }
+            assert results["intersect"].ids == results["primary"].ids
+
+    def test_invalid_mode_rejected(self, world):
+        db, _ = world
+        with pytest.raises(QueryError):
+            QueryEngine(db.index, make_strategies("all"), phase1="everything")
+
+
+class TestQualityMetrics:
+    def test_metrics_keys_and_ranges(self, rng):
+        tree = RStarTree(2, max_entries=16)
+        tree.bulk_load(range(2000), rng.random((2000, 2)) * 100)
+        metrics = tree.quality_metrics()
+        assert set(metrics) == {"avg_fill", "leaf_volume", "leaf_sibling_overlap"}
+        assert 0.5 <= metrics["avg_fill"] <= 1.0  # STR packs nearly full
+        assert metrics["leaf_volume"] > 0
+        assert metrics["leaf_sibling_overlap"] >= 0
+
+    def test_str_packs_fuller_than_dynamic(self, rng):
+        pts = rng.random((1500, 2)) * 100
+        packed = RStarTree(2, max_entries=16)
+        packed.bulk_load(range(1500), pts)
+        dynamic = RStarTree(2, max_entries=16)
+        for i, p in enumerate(pts):
+            dynamic.insert(i, p)
+        assert (
+            packed.quality_metrics()["avg_fill"]
+            > dynamic.quality_metrics()["avg_fill"]
+        )
+
+    def test_empty_tree(self):
+        metrics = RStarTree(2).quality_metrics()
+        assert metrics["avg_fill"] == 1.0
+        assert metrics["leaf_volume"] == 0.0

@@ -1,0 +1,137 @@
+"""Property-based end-to-end tests: the engine against the exact oracle.
+
+Hypothesis generates random small databases, covariances and thresholds;
+for every generated world and every strategy combination the engine (with
+the exact integrator) must return exactly the set of objects whose true
+qualification probability reaches θ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import SpatialDatabase
+from repro.core.strategies import STRATEGY_COMBINATIONS
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.quadform import qualification_probability_exact
+from repro.integrate.exact import ExactIntegrator
+
+
+@st.composite
+def worlds(draw):
+    """A random (points, gaussian, delta, theta) tuple in 2-D or 3-D."""
+    dim = draw(st.integers(2, 3))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n_points = draw(st.integers(20, 120))
+    spread = draw(st.floats(5.0, 50.0))
+    points = rng.standard_normal((n_points, dim)) * spread
+
+    a = rng.standard_normal((dim, dim))
+    sigma = a @ a.T + 0.5 * np.eye(dim)
+    scale = draw(st.floats(0.5, 30.0))
+    gaussian = Gaussian(rng.standard_normal(dim) * 5.0, scale * sigma)
+
+    delta = draw(st.floats(1.0, 40.0))
+    theta = draw(st.floats(0.005, 0.95))
+    return points, gaussian, delta, theta
+
+
+def oracle_ids(points, gaussian, delta, theta):
+    probs = np.array(
+        [
+            qualification_probability_exact(gaussian, p, delta, method="ruben")
+            for p in points
+        ]
+    )
+    # Guard against decision-boundary ties: exact CDF and engine should
+    # agree bit-for-bit since both call the same function, so no epsilon.
+    return tuple(sorted(int(i) for i in np.nonzero(probs >= theta)[0]))
+
+
+class TestEngineMatchesOracle:
+    @given(worlds(), st.sampled_from(sorted(STRATEGY_COMBINATIONS)))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_exact_engine_equals_oracle(self, world, spec):
+        points, gaussian, delta, theta = world
+        db = SpatialDatabase(points)
+        result = db.probabilistic_range_query(
+            gaussian, delta, theta, strategies=spec, integrator=ExactIntegrator()
+        )
+        assert result.ids == oracle_ids(points, gaussian, delta, theta)
+
+    @given(worlds())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_monotone_in_theta(self, world):
+        points, gaussian, delta, _ = world
+        db = SpatialDatabase(points)
+        previous: set[int] | None = None
+        for theta in (0.6, 0.3, 0.1, 0.02):
+            ids = set(
+                db.probabilistic_range_query(
+                    gaussian, delta, theta, strategies="all",
+                    integrator=ExactIntegrator(),
+                ).ids
+            )
+            if previous is not None:
+                assert previous <= ids  # smaller theta can only add objects
+            previous = ids
+
+    @given(worlds())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_monotone_in_delta(self, world):
+        points, gaussian, _, theta = world
+        db = SpatialDatabase(points)
+        previous: set[int] | None = None
+        for delta in (2.0, 8.0, 20.0, 50.0):
+            ids = set(
+                db.probabilistic_range_query(
+                    gaussian, delta, theta, strategies="all",
+                    integrator=ExactIntegrator(),
+                ).ids
+            )
+            if previous is not None:
+                assert previous <= ids  # larger delta can only add objects
+            previous = ids
+
+
+class TestOneDimensionalCrossValidation:
+    """The full d-dimensional engine at d = 1 must agree with the
+    closed-form 1-D solver (repro.core.oned)."""
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_engine_matches_closed_form(self, seed):
+        from repro.core.oned import OneDimensionalDatabase
+
+        rng = np.random.default_rng(seed)
+        values = rng.random(300) * 100
+        q = float(rng.uniform(0, 100))
+        sigma = float(rng.uniform(0.5, 15.0))
+        delta = float(rng.uniform(1.0, 25.0))
+        theta = float(rng.uniform(0.02, 0.9))
+
+        closed_form = OneDimensionalDatabase(values).probabilistic_range_query(
+            q, sigma, delta, theta
+        )
+        db = SpatialDatabase(values[:, None])
+        engine_result = db.probabilistic_range_query(
+            Gaussian([q], [[sigma**2]]), delta, theta,
+            strategies="all", integrator=ExactIntegrator(),
+        )
+        assert list(engine_result.ids) == closed_form

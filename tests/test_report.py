@@ -1,0 +1,69 @@
+"""Tests for the full-report orchestrator and its CLI entry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import run_full_report, write_full_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Smallest meaningful scale; skip the slow 9-D section.
+    return run_full_report(n_trials=2, n_samples=2_000, include_9d=False)
+
+
+class TestFullReport:
+    def test_contains_every_section(self, report_text):
+        for marker in (
+            "Table I",
+            "Table II",
+            "Figs. 13-16",
+            "Fig. 17",
+            "Sensitivity — candidates vs delta",
+            "Sensitivity — candidates vs theta",
+            "Sensitivity — candidates vs axis ratio",
+            "Ablation — integrator error",
+            "Ablation — RR candidates vs r_theta catalog",
+            "Ablation — sequential vs fixed",
+            "Ablation — exact lookups vs MC-built",
+            "Ablation — EM",
+            "Extension — RR fringe filter in 3-D",
+            "total wall time",
+        ):
+            assert marker in report_text, f"missing section: {marker}"
+
+    def test_9d_excluded_when_asked(self, report_text):
+        assert "Table III" not in report_text
+
+    def test_configuration_header(self, report_text):
+        assert "2 trials" in report_text
+        assert "2000 IS samples" in report_text
+
+    def test_write_to_file(self, tmp_path, report_text, monkeypatch):
+        # Reuse the cached text by monkeypatching the runner: writing is
+        # what we test here, not a second multi-second run.
+        import repro.bench.report as report_module
+
+        monkeypatch.setattr(
+            report_module, "run_full_report", lambda **kwargs: report_text
+        )
+        target = write_full_report(tmp_path / "report.txt")
+        assert target.read_text().startswith("repro ")
+
+
+class TestCliAll:
+    def test_experiment_all_via_cli(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.report as report_module
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            report_module,
+            "run_full_report",
+            lambda **kwargs: "repro stub report\nTable I stub",
+        )
+        out_file = tmp_path / "r.txt"
+        assert main(["experiment", "all", "--output", str(out_file)]) == 0
+        printed = capsys.readouterr().out
+        assert "stub report" in printed
+        assert out_file.read_text().startswith("repro stub")

@@ -1,0 +1,265 @@
+"""Tests for the Kalman filter and robot trajectory substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.robotics.kalman import KalmanFilter
+from repro.robotics.trajectory import RobotSimulator
+
+
+def position_filter(process_std=1.0, measurement_std=2.0):
+    identity = np.eye(2)
+    kf = KalmanFilter(
+        transition=identity,
+        process_noise=process_std**2 * identity,
+        observation=identity,
+        observation_noise=measurement_std**2 * identity,
+        control=identity,
+    )
+    kf.initialize(np.zeros(2), identity)
+    return kf
+
+
+class TestKalmanFilter:
+    def test_predict_grows_uncertainty(self):
+        kf = position_filter()
+        _, p0 = kf.state
+        kf.predict()
+        _, p1 = kf.state
+        assert np.trace(p1) > np.trace(p0)
+
+    def test_update_shrinks_uncertainty(self):
+        kf = position_filter()
+        kf.predict()
+        _, before = kf.state
+        kf.update(np.array([0.5, -0.5]))
+        _, after = kf.state
+        assert np.trace(after) < np.trace(before)
+
+    def test_covariance_stays_symmetric_positive(self):
+        kf = position_filter()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            kf.predict(rng.standard_normal(2))
+            if rng.random() < 0.3:
+                kf.update(rng.standard_normal(2) * 5)
+        _, cov = kf.state
+        np.testing.assert_allclose(cov, cov.T, atol=1e-12)
+        assert np.all(np.linalg.eigvalsh(cov) > 0)
+
+    def test_steady_state_matches_riccati(self):
+        # For the scalar random-walk + noisy-observation model the steady
+        # state variance P solves P = (P + Q) R / (P + Q + R).
+        q_var, r_var = 1.0, 4.0
+        kf = KalmanFilter(
+            transition=np.eye(1),
+            process_noise=q_var * np.eye(1),
+            observation=np.eye(1),
+            observation_noise=r_var * np.eye(1),
+        )
+        kf.initialize(np.zeros(1), 10.0 * np.eye(1))
+        for _ in range(200):
+            kf.predict()
+            kf.update(np.zeros(1))
+        _, cov = kf.state
+        p = cov[0, 0]
+        expected = (p + q_var) * r_var / (p + q_var + r_var)
+        assert p == pytest.approx(expected, rel=1e-6)
+
+    def test_estimates_converge_to_truth(self):
+        rng = np.random.default_rng(1)
+        kf = position_filter(process_std=0.1, measurement_std=1.0)
+        truth = np.array([3.0, -2.0])
+        for _ in range(300):
+            kf.predict()
+            kf.update(truth + rng.normal(0, 1.0, 2))
+        mean, _ = kf.state
+        np.testing.assert_allclose(mean, truth, atol=0.5)
+
+    def test_belief_is_gaussian(self):
+        kf = position_filter()
+        belief = kf.belief()
+        assert belief.dim == 2
+
+    def test_use_before_initialize_rejected(self):
+        kf = KalmanFilter(np.eye(1), np.eye(1), np.eye(1), np.eye(1))
+        with pytest.raises(ReproError):
+            kf.predict()
+        with pytest.raises(ReproError):
+            kf.belief()
+
+    def test_shape_validation(self):
+        with pytest.raises(ReproError):
+            KalmanFilter(np.ones((2, 3)), np.eye(2), np.eye(2), np.eye(2))
+        with pytest.raises(ReproError):
+            KalmanFilter(np.eye(2), np.eye(3), np.eye(2), np.eye(2))
+        with pytest.raises(ReproError):
+            KalmanFilter(np.eye(2), np.eye(2), np.ones((1, 3)), np.eye(1))
+        kf = position_filter()
+        with pytest.raises(ReproError):
+            kf.update(np.zeros(3))
+        with pytest.raises(ReproError):
+            kf.predict(np.zeros(3))
+
+    def test_control_without_matrix_rejected(self):
+        kf = KalmanFilter(np.eye(2), np.eye(2), np.eye(2), np.eye(2))
+        kf.initialize(np.zeros(2), np.eye(2))
+        with pytest.raises(ReproError):
+            kf.predict(np.ones(2))
+
+
+class TestRobotSimulator:
+    def test_uncertainty_grows_between_fixes(self):
+        sim = RobotSimulator(fix_interval=50, seed=3)
+        estimates = sim.run([np.array([1.0, 0.0])] * 30)
+        determinants = [e.belief.det_sigma for e in estimates]
+        assert all(a < b for a, b in zip(determinants, determinants[1:]))
+        assert not any(e.had_fix for e in estimates)
+
+    def test_fix_shrinks_uncertainty(self):
+        sim = RobotSimulator(fix_interval=10, seed=4)
+        estimates = sim.run([np.array([1.0, 0.0])] * 10)
+        assert estimates[-1].had_fix
+        assert estimates[-1].belief.det_sigma < estimates[-2].belief.det_sigma
+
+    def test_dead_reckoning_mode(self):
+        sim = RobotSimulator(fix_interval=0, seed=5)
+        estimates = sim.run([np.array([0.5, 0.5])] * 40)
+        assert not any(e.had_fix for e in estimates)
+
+    def test_tracking_error_bounded_with_fixes(self):
+        sim = RobotSimulator(fix_interval=5, odometry_noise=0.5, fix_noise=1.0, seed=6)
+        estimates = sim.run([np.array([1.0, 0.2])] * 200)
+        late_errors = [e.error for e in estimates[-50:]]
+        assert np.mean(late_errors) < 5.0
+
+    def test_deterministic(self):
+        a = RobotSimulator(seed=7).run([np.array([1.0, 0.0])] * 20)
+        b = RobotSimulator(seed=7).run([np.array([1.0, 0.0])] * 20)
+        np.testing.assert_array_equal(a[-1].true_position, b[-1].true_position)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RobotSimulator(odometry_noise=0.0)
+        with pytest.raises(ReproError):
+            RobotSimulator(fix_interval=-1)
+        with pytest.raises(ReproError):
+            RobotSimulator(start=(0.0, 0.0, 0.0))
+        sim = RobotSimulator()
+        with pytest.raises(ReproError):
+            sim.advance(np.zeros(3))
+
+    def test_belief_usable_as_query_object(self):
+        from repro.core.database import SpatialDatabase
+        from repro.integrate.exact import ExactIntegrator
+
+        rng = np.random.default_rng(8)
+        db = SpatialDatabase(rng.random((500, 2)) * 40 - 20)
+        sim = RobotSimulator(fix_interval=0, seed=9)
+        estimate = sim.run([np.array([0.5, 0.0])] * 15)[-1]
+        result = db.probabilistic_range_query(
+            estimate.belief, delta=10.0, theta=0.2, integrator=ExactIntegrator()
+        )
+        assert result.stats.retrieved >= len(result.ids)
+
+
+class TestRangeBearingEKF:
+    def make_ekf(self):
+        from repro.robotics.ekf import RangeBearingEKF
+
+        landmarks = np.array([[0.0, 0.0], [50.0, 0.0], [25.0, 40.0]])
+        ekf = RangeBearingEKF(
+            landmarks,
+            process_noise_std=0.4,
+            range_noise_std=0.5,
+            bearing_noise_std=0.03,
+        )
+        ekf.initialize([10.0, 10.0], 4.0 * np.eye(2))
+        return ekf
+
+    def test_wrap_angle(self):
+        from repro.robotics.ekf import wrap_angle
+
+        assert wrap_angle(0.0) == 0.0
+        assert wrap_angle(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+        assert wrap_angle(-np.pi - 0.1) == pytest.approx(np.pi - 0.1)
+        assert wrap_angle(7 * np.pi) == pytest.approx(np.pi)
+
+    def test_localizes_from_landmarks(self):
+        rng = np.random.default_rng(3)
+        ekf = self.make_ekf()
+        true_position = np.array([12.0, 8.0])
+        for _ in range(60):
+            ekf.predict(np.zeros(2))
+            for idx in range(3):
+                ekf.update(idx, ekf.observe(true_position, idx, rng))
+        belief = ekf.belief()
+        np.testing.assert_allclose(belief.mean, true_position, atol=0.6)
+        assert belief.det_sigma < 0.1
+
+    def test_tracks_moving_robot(self):
+        rng = np.random.default_rng(4)
+        ekf = self.make_ekf()
+        truth = np.array([10.0, 10.0])
+        for _ in range(80):
+            v = np.array([0.5, 0.2])
+            truth = truth + v + rng.normal(0, 0.4, 2)
+            ekf.predict(v)
+            ekf.update(0, ekf.observe(truth, 0, rng))
+            ekf.update(2, ekf.observe(truth, 2, rng))
+        assert np.linalg.norm(ekf.belief().mean - truth) < 2.5
+
+    def test_update_shrinks_uncertainty(self):
+        rng = np.random.default_rng(5)
+        ekf = self.make_ekf()
+        ekf.predict(np.zeros(2))
+        before = ekf.belief().det_sigma
+        ekf.update(0, ekf.observe(np.array([10.0, 10.0]), 0, rng))
+        assert ekf.belief().det_sigma < before
+
+    def test_belief_feeds_prq(self):
+        from repro.core.database import SpatialDatabase
+        from repro.integrate.exact import ExactIntegrator
+
+        rng = np.random.default_rng(6)
+        ekf = self.make_ekf()
+        for _ in range(10):
+            ekf.predict(np.zeros(2))
+            ekf.update(0, ekf.observe(np.array([10.0, 10.0]), 0, rng))
+        db = SpatialDatabase(rng.uniform(0, 30, size=(400, 2)))
+        result = db.probabilistic_range_query(
+            ekf.belief(), delta=5.0, theta=0.2, integrator=ExactIntegrator()
+        )
+        assert result.stats.results == len(result.ids)
+
+    def test_validation(self):
+        from repro.errors import ReproError
+        from repro.robotics.ekf import RangeBearingEKF
+
+        with pytest.raises(ReproError):
+            RangeBearingEKF(np.zeros((0, 2)))
+        with pytest.raises(ReproError):
+            RangeBearingEKF(np.zeros((3, 3)))
+        with pytest.raises(ReproError):
+            RangeBearingEKF(np.zeros((1, 2)), range_noise_std=0.0)
+        ekf = self.make_ekf()
+        with pytest.raises(ReproError):
+            ekf.update(99, np.zeros(2))
+        with pytest.raises(ReproError):
+            ekf.update(0, np.zeros(3))
+        with pytest.raises(ReproError):
+            ekf.predict(np.zeros(3))
+        fresh = type(ekf)(np.array([[0.0, 0.0]]))
+        with pytest.raises(ReproError):
+            fresh.predict(np.zeros(2))
+
+    def test_on_landmark_rejected(self):
+        ekf = self.make_ekf()
+        ekf.initialize([0.0, 0.0], np.eye(2))  # exactly on landmark 0
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            ekf.update(0, np.array([1.0, 0.0]))

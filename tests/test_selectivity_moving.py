@@ -1,0 +1,214 @@
+"""Tests for selectivity estimation and the moving-object database."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import SpatialDatabase
+from repro.core.moving import MovingObject, MovingObjectDatabase, stale_gaussian
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.selectivity import SelectivityEstimator
+from repro.datasets.synthetic import clustered_points, uniform_points
+from repro.errors import QueryError
+from repro.gaussian.distribution import Gaussian
+from repro.integrate.exact import ExactIntegrator
+
+
+class TestSelectivityEstimator:
+    @pytest.fixture(scope="class")
+    def uniform_data(self):
+        return uniform_points(40_000, 2, seed=3)
+
+    @pytest.fixture(scope="class")
+    def estimator(self, uniform_data):
+        return SelectivityEstimator(uniform_data, bins=40)
+
+    def test_rect_estimate_on_uniform_data(self, estimator):
+        from repro.geometry.mbr import Rect
+
+        rect = Rect([100.0, 100.0], [300.0, 400.0])
+        expected = 40_000 * (200.0 * 300.0) / 1_000_000.0
+        assert estimator.estimate_in_rect(rect) == pytest.approx(expected, rel=0.1)
+
+    def test_whole_domain_estimate_is_total(self, estimator):
+        from repro.geometry.mbr import Rect
+
+        rect = Rect([-10.0, -10.0], [1010.0, 1010.0])
+        assert estimator.estimate_in_rect(rect) == pytest.approx(40_000, rel=1e-6)
+
+    def test_empty_region(self, estimator):
+        from repro.geometry.mbr import Rect
+
+        rect = Rect([2000.0, 2000.0], [3000.0, 3000.0])
+        assert estimator.estimate_in_rect(rect) == 0.0
+
+    def test_density_outside_bounds_is_zero(self, estimator):
+        assert estimator.density_at(np.array([[5000.0, 5000.0]]))[0] == 0.0
+
+    @pytest.mark.parametrize("spec", ["rr", "bf", "all"])
+    def test_candidate_estimate_matches_actual(self, uniform_data, estimator, spec):
+        from repro.bench.experiments import _CountOnlyIntegrator
+
+        db = SpatialDatabase(uniform_data)
+        sigma = 10.0 * np.array([[7.0, 2 * np.sqrt(3)], [2 * np.sqrt(3), 3.0]])
+        query = ProbabilisticRangeQuery(Gaussian([500.0, 500.0], sigma), 25.0, 0.01)
+        predicted = estimator.estimate_candidates(query, spec, seed=1)
+        actual = (
+            db.engine(strategies=spec, integrator=_CountOnlyIntegrator())
+            .execute(query)
+            .stats.integrations
+        )
+        assert predicted == pytest.approx(actual, rel=0.25)
+
+    def test_estimate_on_skewed_data(self):
+        points = clustered_points(30_000, 2, n_clusters=8, spread=20.0, seed=4)
+        estimator = SelectivityEstimator(points, bins=50)
+        db = SpatialDatabase(points)
+        from repro.bench.experiments import _CountOnlyIntegrator
+
+        center = points[100]
+        query = ProbabilisticRangeQuery(
+            Gaussian(center, 100.0 * np.eye(2)), 20.0, 0.05
+        )
+        predicted = estimator.estimate_candidates(query, "all", seed=2)
+        actual = (
+            db.engine(strategies="all", integrator=_CountOnlyIntegrator())
+            .execute(query)
+            .stats.integrations
+        )
+        # Skewed data is harder; a factor-of-two band still orders plans.
+        assert 0.4 * actual <= predicted <= 2.5 * max(actual, 1)
+
+    def test_empty_proof_estimates_zero(self, estimator):
+        query = ProbabilisticRangeQuery(
+            Gaussian.isotropic([500.0, 500.0], 400.0), 1.0, 0.95
+        )
+        assert estimator.estimate_candidates(query, "bf") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            SelectivityEstimator(np.empty((0, 2)))
+        with pytest.raises(QueryError):
+            SelectivityEstimator(np.zeros((10, 9)))  # d too high
+        with pytest.raises(QueryError):
+            SelectivityEstimator(np.zeros((10, 2)), bins=1)
+
+
+class TestStaleGaussian:
+    def test_dead_reckoned_mean(self):
+        g = stale_gaussian([1.0, 2.0], [3.0, -1.0], age=2.0)
+        np.testing.assert_allclose(g.mean, [7.0, 0.0])
+
+    def test_variance_grows_linearly(self):
+        g1 = stale_gaussian([0.0, 0.0], [0.0, 0.0], age=1.0, diffusion=2.0)
+        g4 = stale_gaussian([0.0, 0.0], [0.0, 0.0], age=4.0, diffusion=2.0)
+        assert g4.eigenvalues[0] == pytest.approx(4.0 * g1.eigenvalues[0], rel=1e-6)
+
+    def test_base_sigma_added(self):
+        base = np.diag([5.0, 1.0])
+        g = stale_gaussian([0.0, 0.0], [0.0, 0.0], age=0.0, base_sigma=base)
+        np.testing.assert_allclose(np.diag(g.sigma), [5.0, 1.0], atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            stale_gaussian([0.0], [0.0, 0.0], 1.0)
+        with pytest.raises(QueryError):
+            stale_gaussian([0.0, 0.0], [0.0, 0.0], -1.0)
+        with pytest.raises(QueryError):
+            stale_gaussian([0.0, 0.0], [0.0, 0.0], 1.0, diffusion=0.0)
+
+
+class TestMovingObjectDatabase:
+    @pytest.fixture
+    def fleet(self, rng):
+        objects = [
+            MovingObject(
+                i,
+                rng.random(2) * 100,
+                rng.standard_normal(2) * 2.0,
+            )
+            for i in range(80)
+        ]
+        return MovingObjectDatabase(objects)
+
+    def test_snapshot_positions(self, fleet):
+        snap0 = fleet.snapshot_at(0.0)
+        snap5 = fleet.snapshot_at(5.0)
+        obj = fleet.object(3)
+        np.testing.assert_allclose(snap5.point(3), obj.position_at(5.0))
+        assert not np.allclose(snap0.point(3), snap5.point(3)) or np.allclose(
+            obj.velocity, 0.0
+        )
+
+    def test_snapshot_cached(self, fleet):
+        a = fleet.snapshot_at(2.0)
+        b = fleet.snapshot_at(2.0)
+        assert a is b
+        c = fleet.snapshot_at(3.0)
+        assert c is not a
+
+    def test_query_from_object_excludes_self(self, fleet):
+        result = fleet.query_from_object(
+            0, t=1.0, last_report_time=0.5, delta=30.0, theta=0.2,
+            integrator=ExactIntegrator(),
+        )
+        assert 0 not in result.ids
+
+    def test_include_self(self, fleet):
+        result = fleet.query_from_object(
+            0, t=1.0, last_report_time=1.0, delta=30.0, theta=0.2,
+            integrator=ExactIntegrator(), include_self=True,
+        )
+        assert 0 in result.ids  # own position qualifies at zero staleness
+
+    def test_staleness_changes_answers(self, fleet):
+        fresh = fleet.query_from_object(
+            5, t=10.0, last_report_time=10.0, delta=15.0, theta=0.5,
+            diffusion=4.0, integrator=ExactIntegrator(),
+        )
+        stale = fleet.query_from_object(
+            5, t=10.0, last_report_time=0.0, delta=15.0, theta=0.5,
+            diffusion=4.0, integrator=ExactIntegrator(),
+        )
+        # With theta > 1/2 and growing uncertainty, qualification can only
+        # become harder for borderline neighbours.
+        assert len(stale.ids) <= len(fresh.ids)
+
+    def test_matches_manual_construction(self, fleet):
+        t, report = 4.0, 1.0
+        obj = fleet.object(7)
+        belief = stale_gaussian(
+            obj.position_at(report), obj.velocity, t - report, diffusion=1.0
+        )
+        manual = fleet.snapshot_at(t).probabilistic_range_query(
+            belief, 20.0, 0.3, integrator=ExactIntegrator()
+        )
+        automatic = fleet.query_from_object(
+            7, t=t, last_report_time=report, delta=20.0, theta=0.3,
+            integrator=ExactIntegrator(), include_self=True,
+        )
+        assert manual.ids == automatic.ids
+
+    def test_validation(self, rng):
+        with pytest.raises(QueryError):
+            MovingObjectDatabase([])
+        duplicate = [
+            MovingObject(1, [0.0, 0.0], [0.0, 0.0]),
+            MovingObject(1, [1.0, 1.0], [0.0, 0.0]),
+        ]
+        with pytest.raises(QueryError):
+            MovingObjectDatabase(duplicate)
+        mixed = [
+            MovingObject(1, [0.0, 0.0], [0.0, 0.0]),
+            MovingObject(2, [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]),
+        ]
+        with pytest.raises(QueryError):
+            MovingObjectDatabase(mixed)
+        fleet = MovingObjectDatabase([MovingObject(1, [0.0, 0.0], [1.0, 0.0])])
+        with pytest.raises(QueryError):
+            fleet.query_from_object(1, t=0.0, last_report_time=1.0, delta=1.0, theta=0.5)
+        with pytest.raises(QueryError):
+            fleet.object(99)
+        with pytest.raises(QueryError):
+            MovingObject(1, [0.0], [0.0, 0.0])

@@ -1,0 +1,110 @@
+"""Tests for the adaptive sequential importance sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import SpatialDatabase
+from repro.errors import IntegrationError
+from repro.gaussian.distribution import Gaussian
+from repro.integrate.exact import ExactIntegrator
+from repro.integrate.sequential import SequentialImportanceSampler
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(IntegrationError):
+            SequentialImportanceSampler(theta=0.0)
+        with pytest.raises(IntegrationError):
+            SequentialImportanceSampler(theta=1.0)
+        with pytest.raises(IntegrationError):
+            SequentialImportanceSampler(theta=0.1, max_samples=100, batch_size=200)
+        with pytest.raises(IntegrationError):
+            SequentialImportanceSampler(theta=0.1, batch_size=5)
+        with pytest.raises(IntegrationError):
+            SequentialImportanceSampler(theta=0.1, z=0.0)
+
+
+class TestEarlyStopping:
+    def test_clear_cases_stop_early(self, paper_gaussian):
+        sampler = SequentialImportanceSampler(
+            theta=0.01, max_samples=100_000, batch_size=1_000, seed=0
+        )
+        # Far point: probability ~ 0, decided in the first batch.
+        far = paper_gaussian.mean + np.array([400.0, 0.0])
+        result = sampler.qualification_probability(paper_gaussian, far, 25.0)
+        assert result.n_samples <= 2_000
+        assert result.estimate < 0.01
+        # Centre point: probability ~ 0.99, also decided immediately.
+        result = sampler.qualification_probability(
+            paper_gaussian, paper_gaussian.mean, 25.0
+        )
+        assert result.n_samples <= 2_000
+        assert result.estimate > 0.9
+
+    def test_borderline_cases_spend_budget(self, paper_gaussian):
+        theta = 0.5
+        sampler = SequentialImportanceSampler(
+            theta=theta, max_samples=50_000, batch_size=1_000, seed=1
+        )
+        # Find a point whose probability is very near theta.
+        exact = ExactIntegrator()
+        lo, hi = 0.0, 200.0
+        for _ in range(40):
+            mid = 0.5 * (lo + hi)
+            p = exact.qualification_probability(
+                paper_gaussian, paper_gaussian.mean + np.array([mid, 0.0]), 25.0
+            ).estimate
+            if p > theta:
+                lo = mid
+            else:
+                hi = mid
+        boundary = paper_gaussian.mean + np.array([0.5 * (lo + hi), 0.0])
+        result = sampler.qualification_probability(paper_gaussian, boundary, 25.0)
+        assert result.n_samples == 50_000  # budget exhausted on the boundary
+
+    def test_estimate_remains_accurate(self, paper_gaussian):
+        sampler = SequentialImportanceSampler(
+            theta=0.01, max_samples=100_000, batch_size=5_000, seed=2
+        )
+        point = paper_gaussian.mean + np.array([30.0, -10.0])
+        exact = ExactIntegrator().qualification_probability(
+            paper_gaussian, point, 25.0
+        ).estimate
+        result = sampler.qualification_probability(paper_gaussian, point, 25.0)
+        # The curtailed estimate is approximately unbiased for points away
+        # from theta; require CI coverage with slack.
+        assert abs(result.estimate - exact) < 6 * result.stderr + 1e-9
+
+
+class TestDecisionQuality:
+    def test_engine_answers_match_exact(self, rng, paper_gaussian):
+        points = paper_gaussian.mean + rng.uniform(-120, 120, size=(2500, 2))
+        db = SpatialDatabase(points)
+        theta = 0.01
+        exact = db.probabilistic_range_query(
+            paper_gaussian, 25.0, theta, strategies="all",
+            integrator=ExactIntegrator(),
+        )
+        sequential = db.probabilistic_range_query(
+            paper_gaussian, 25.0, theta, strategies="all",
+            integrator=SequentialImportanceSampler(
+                theta=theta, max_samples=100_000, batch_size=2_000, seed=3
+            ),
+        )
+        diff = set(exact.ids) ^ set(sequential.ids)
+        assert len(diff) <= max(2, len(exact.ids) // 20)
+
+    def test_saves_samples_vs_fixed_budget(self, rng, paper_gaussian):
+        points = paper_gaussian.mean + rng.uniform(-120, 120, size=(800, 2))
+        db = SpatialDatabase(points)
+        sequential = SequentialImportanceSampler(
+            theta=0.01, max_samples=100_000, batch_size=2_000, seed=4
+        )
+        result = db.probabilistic_range_query(
+            paper_gaussian, 25.0, 0.01, strategies="all", integrator=sequential
+        )
+        fixed_budget = result.stats.integrations * 100_000
+        # The adaptive sampler must spend well under half the fixed budget.
+        assert result.stats.integration_samples < 0.5 * fixed_budget
