@@ -32,6 +32,11 @@ def bench_samples(default: int = 20_000) -> int:
     return int(os.environ.get("REPRO_BENCH_SAMPLES", default))
 
 
+def bench_batch_queries(default: int = 200) -> int:
+    """Batch size for the workload speedup benchmark (CI smoke shrinks it)."""
+    return int(os.environ.get("REPRO_BENCH_BATCH_QUERIES", default))
+
+
 def report(name: str, text: str) -> None:
     """Record one experiment's rendered output."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -24,6 +24,8 @@ paper-versus-measured record of every table and figure.
 """
 
 from repro.core import (
+    BatchResult,
+    BatchStats,
     MixtureQueryEngine,
     QueryPlan,
     mixture_range_query,
@@ -69,6 +71,8 @@ __all__ = [
     "QueryEngine",
     "QueryResult",
     "QueryStats",
+    "BatchResult",
+    "BatchStats",
     "SpatialDatabase",
     "MonitoringSession",
     "MovingObject",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import functools
 import math
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -25,9 +27,20 @@ __all__ = [
     "load_road_database",
     "load_corel_points",
     "random_query_centers",
+    "stopwatch",
     "ExperimentTable",
     "format_table",
 ]
+
+
+@contextmanager
+def stopwatch():
+    """Measure a wall-clock interval: ``with stopwatch() as t: ...`` then
+    ``t()`` returns elapsed seconds (readable both during and after)."""
+    start = time.perf_counter()
+    stop: list[float] = []
+    yield lambda: (stop[0] if stop else time.perf_counter()) - start
+    stop.append(time.perf_counter())
 
 
 def paper_sigma(gamma: float) -> np.ndarray:

@@ -6,6 +6,14 @@ together.  :class:`WorkloadGenerator` draws query specs from configurable
 distributions and :func:`run_workload` executes them through one engine,
 reporting latency percentiles and the per-phase breakdown — the numbers a
 capacity planner actually needs.
+
+``run_workload(..., workers=k)`` routes the batch through
+:meth:`QueryEngine.run_batch` instead of the per-query loop: one engine,
+per-query forked RNG streams, and the vectorised shared-batch Phase-3
+sampler.  ``WorkloadGenerator(quantize=n)`` snaps δ and θ onto n-level
+log grids — the realistic production shape (applications expose a fixed
+menu of ranges/confidences), and what lets the preparation LRU caches
+(eigendecompositions, r_θ, BF α root-finds) hit across queries.
 """
 
 from __future__ import annotations
@@ -37,6 +45,11 @@ class WorkloadGenerator:
         Distributions of the query parameters: γ uniform over the given
         choices, δ log-uniform over its range, θ log-uniform over its
         range.
+    quantize:
+        When set, δ and θ are snapped to log-spaced grids of this many
+        levels inside their ranges.  Production systems expose a fixed
+        menu of ranges and confidence levels rather than a continuum;
+        quantized workloads also exercise the preparation LRU caches.
     seed:
         Generator seed.
     """
@@ -48,6 +61,7 @@ class WorkloadGenerator:
         gamma_choices=(1.0, 10.0, 100.0),
         delta_range=(10.0, 50.0),
         theta_range=(0.005, 0.3),
+        quantize: int | None = None,
         seed: int = 0,
     ):
         if database.dim != 2:
@@ -59,22 +73,38 @@ class WorkloadGenerator:
             raise ReproError(f"bad delta_range {delta_range}")
         if not 0 < theta_range[0] < theta_range[1] < 1:
             raise ReproError(f"bad theta_range {theta_range}")
+        if quantize is not None and quantize < 2:
+            raise ReproError(f"quantize needs >= 2 levels, got {quantize}")
         self._database = database
         self._gammas = tuple(gamma_choices)
         self._delta_range = delta_range
         self._theta_range = theta_range
+        self._delta_grid = (
+            np.geomspace(*delta_range, quantize) if quantize else None
+        )
+        self._theta_grid = (
+            np.geomspace(*theta_range, quantize) if quantize else None
+        )
         self._rng = np.random.default_rng(seed)
+
+    @staticmethod
+    def _snap(value: float, grid: np.ndarray | None) -> float:
+        if grid is None:
+            return value
+        return float(grid[np.argmin(np.abs(np.log(grid) - np.log(value)))])
 
     def next_query(self) -> ProbabilisticRangeQuery:
         center = self._database.point(
             int(self._rng.integers(len(self._database)))
         )
         gamma = float(self._rng.choice(self._gammas))
-        delta = float(
-            np.exp(self._rng.uniform(*np.log(self._delta_range)))
+        delta = self._snap(
+            float(np.exp(self._rng.uniform(*np.log(self._delta_range)))),
+            self._delta_grid,
         )
-        theta = float(
-            np.exp(self._rng.uniform(*np.log(self._theta_range)))
+        theta = self._snap(
+            float(np.exp(self._rng.uniform(*np.log(self._theta_range)))),
+            self._theta_grid,
         )
         return ProbabilisticRangeQuery(
             Gaussian(center, paper_sigma(gamma)), delta, theta
@@ -94,6 +124,10 @@ class WorkloadReport:
     integrations: list[int] = field(default_factory=list)
     answers: list[int] = field(default_factory=list)
     phase_totals: dict[str, float] = field(default_factory=dict)
+    #: End-to-end batch wall time; None on the legacy per-query path,
+    #: where per-query latencies are the only timing available.
+    wall_seconds: float | None = None
+    workers: int = 1
 
     def percentile(self, q: float) -> float:
         if not self.latencies:
@@ -101,8 +135,16 @@ class WorkloadReport:
         return float(np.percentile(self.latencies, q))
 
     @property
+    def total_seconds(self) -> float:
+        """Batch wall time: measured end-to-end when available, else the
+        sum of per-query latencies (the sequential path's wall time)."""
+        if self.wall_seconds is not None:
+            return self.wall_seconds
+        return sum(self.latencies)
+
+    @property
     def queries_per_second(self) -> float:
-        total = sum(self.latencies)
+        total = self.total_seconds
         return len(self.latencies) / total if total > 0 else float("inf")
 
     def table(self) -> ExperimentTable:
@@ -114,6 +156,9 @@ class WorkloadReport:
         table.add_row("p95 latency (ms)", self.percentile(95) * 1e3)
         table.add_row("p99 latency (ms)", self.percentile(99) * 1e3)
         table.add_row("throughput (qps)", self.queries_per_second)
+        if self.wall_seconds is not None:
+            table.add_row("workers", self.workers)
+            table.add_row("batch wall (s)", self.wall_seconds)
         table.add_row("mean integrations", float(np.mean(self.integrations)))
         table.add_row("mean answers", float(np.mean(self.answers)))
         total_phase = sum(self.phase_totals.values())
@@ -129,14 +174,45 @@ def run_workload(
     *,
     strategies: str = "all",
     integrator: ProbabilityIntegrator | None = None,
+    workers: int | None = None,
+    base_seed: int = 0,
 ) -> WorkloadReport:
     """Execute a query batch through one engine and aggregate statistics.
 
     The default Phase-3 evaluator is the adaptive sequential sampler with
     per-query θ — each query gets an integrator tuned to its own
     threshold.
+
+    With ``workers=None`` (default) queries run through the legacy
+    per-query loop.  Any integer routes the batch through
+    :meth:`QueryEngine.run_batch` with that many worker threads and the
+    *vectorised* shared-batch sequential sampler (or per-query forks of
+    ``integrator`` when one is supplied); per-query results are
+    bit-identical for every worker count.
     """
     report = WorkloadReport()
+    if workers is not None:
+        engine = database.engine(strategies=strategies)
+        if integrator is not None:
+            factory = lambda query, seed: integrator.fork(seed)  # noqa: E731
+        else:
+            factory = lambda query, seed: SequentialImportanceSampler(  # noqa: E731
+                query.theta, max_samples=50_000, seed=seed, share_batches=True
+            )
+        batch = engine.run_batch(
+            list(queries),
+            workers=workers,
+            base_seed=base_seed,
+            integrator_factory=factory,
+        )
+        report.workers = workers
+        report.wall_seconds = batch.stats.wall_seconds
+        for result in batch:
+            report.latencies.append(result.stats.total_seconds)
+            report.integrations.append(result.stats.integrations)
+            report.answers.append(len(result))
+        report.phase_totals = dict(batch.stats.phase_seconds)
+        return report
     for query in queries:
         engine = database.engine(
             strategies=strategies,

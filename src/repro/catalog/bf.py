@@ -23,6 +23,7 @@ this mirrors the paper's own experiments, which "computed accurate β∥ and
 from __future__ import annotations
 
 import abc
+import functools
 
 import numpy as np
 
@@ -30,6 +31,17 @@ from repro.errors import CatalogError
 from repro.gaussian import radial
 
 __all__ = ["BFLookup", "ExactBFLookup", "BFCatalog"]
+
+
+#: LRU size for memoized exact α lookups.  Each α is a brentq root-find
+#: over the noncentral-χ² CDF (~5 ms) — by far the most expensive part of
+#: per-query preparation — so repeated query shapes skip it entirely.
+_ALPHA_CACHE_SIZE = 4096
+
+
+@functools.lru_cache(maxsize=_ALPHA_CACHE_SIZE)
+def _alpha_for_mass_cached(dim: int, delta: float, theta: float) -> float | None:
+    return radial.alpha_for_mass(dim, delta, theta)
 
 
 class BFLookup(abc.ABC):
@@ -57,7 +69,12 @@ class BFLookup(abc.ABC):
 
 
 class ExactBFLookup(BFLookup):
-    """Closed-form lookup via the noncentral-χ² CDF (no table)."""
+    """Closed-form lookup via the noncentral-χ² CDF (no table).
+
+    Lookups are memoized in a process-wide LRU keyed on (dim, δ, θ): the
+    root-find is a pure function, so cache hits return bit-identical α
+    values and cannot perturb any sampling stream.
+    """
 
     def __init__(self, dim: int):
         if dim < 1:
@@ -71,12 +88,12 @@ class ExactBFLookup(BFLookup):
     def alpha_upper(self, delta: float, theta: float) -> float | None:
         if theta >= 1.0:
             return None
-        return radial.alpha_for_mass(self._dim, delta, theta)
+        return _alpha_for_mass_cached(self._dim, float(delta), float(theta))
 
     def alpha_lower(self, delta: float, theta: float) -> float | None:
         if theta >= 1.0:
             return None
-        return radial.alpha_for_mass(self._dim, delta, theta)
+        return _alpha_for_mass_cached(self._dim, float(delta), float(theta))
 
 
 class BFCatalog(BFLookup):

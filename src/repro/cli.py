@@ -50,14 +50,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = commands.add_parser("query", help="query a saved database")
     query.add_argument("database", help=".npz file from SpatialDatabase.save")
-    query.add_argument("--center", type=float, nargs="+", required=True)
+    query.add_argument("--center", type=float, nargs="+", default=None)
     query.add_argument("--sigma-scale", type=float, default=1.0,
                        help="isotropic covariance scale (variance)")
-    query.add_argument("--delta", type=float, required=True)
-    query.add_argument("--theta", type=float, required=True)
+    query.add_argument("--delta", type=float, default=None)
+    query.add_argument("--theta", type=float, default=None)
     query.add_argument("--strategies", default="all")
     query.add_argument("--exact", action="store_true",
                        help="use the exact integrator instead of sampling")
+    query.add_argument("--batch", default=None, metavar="FILE",
+                       help="JSON file with a list of query specs "
+                       '[{"center": [...], "delta": d, "theta": t, '
+                       '"sigma_scale": s?}, ...]; runs them all through '
+                       "QueryEngine.run_batch")
+    query.add_argument("--workers", type=int, default=1,
+                       help="worker threads for --batch execution "
+                       "(results are identical for any worker count)")
+    query.add_argument("--seed", type=int, default=0,
+                       help="base seed for the per-query RNG streams of "
+                       "--batch execution")
 
     catalog = commands.add_parser("catalog", help="build a U-catalog")
     catalog.add_argument("kind", choices=["rtheta", "bf"])
@@ -133,6 +144,12 @@ def _cmd_query(args) -> int:
     from repro import ExactIntegrator, Gaussian, SpatialDatabase
 
     db = SpatialDatabase.load(args.database)
+    if args.batch is not None:
+        return _run_query_batch(db, args)
+    if args.center is None or args.delta is None or args.theta is None:
+        print("error: --center, --delta and --theta are required "
+              "(or pass --batch FILE)", file=sys.stderr)
+        return 2
     center = np.asarray(args.center, dtype=float)
     if center.size != db.dim:
         print(f"error: database is {db.dim}-dimensional, got "
@@ -147,6 +164,52 @@ def _cmd_query(args) -> int:
     print(f"{len(result)} objects qualify")
     print("ids:", " ".join(str(i) for i in result.ids))
     print("stats:", result.stats.summary())
+    return 0
+
+
+def _run_query_batch(db, args) -> int:
+    """Execute a JSON batch file through ``QueryEngine.run_batch``."""
+    import json
+    from pathlib import Path
+
+    from repro import ExactIntegrator, Gaussian
+    from repro.core.query import ProbabilisticRangeQuery
+
+    try:
+        specs = json.loads(Path(args.batch).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read batch file {args.batch}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(specs, list) or not specs:
+        print("error: batch file must hold a non-empty JSON list",
+              file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    queries = []
+    for i, spec in enumerate(specs):
+        try:
+            center = np.asarray(spec["center"], dtype=float)
+            scale = float(spec.get("sigma_scale", args.sigma_scale))
+            queries.append(ProbabilisticRangeQuery(
+                Gaussian(center, scale * np.eye(db.dim)),
+                float(spec["delta"]), float(spec["theta"]),
+            ))
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"error: bad query spec #{i}: {exc}", file=sys.stderr)
+            return 2
+    integrator = ExactIntegrator() if args.exact else None
+    engine = db.engine(strategies=args.strategies, integrator=integrator)
+    batch = engine.run_batch(
+        queries, workers=args.workers, base_seed=args.seed
+    )
+    for i, result in enumerate(batch):
+        print(f"query {i}: {len(result)} objects "
+              f"[{' '.join(str(j) for j in result.ids)}]")
+    print("batch:", batch.stats.summary())
     return 0
 
 

@@ -14,7 +14,7 @@
 """
 
 from repro.core.query import ProbabilisticRangeQuery
-from repro.core.stats import QueryStats
+from repro.core.stats import BatchStats, QueryStats
 from repro.core.strategies import (
     ACCEPT,
     REJECT,
@@ -26,7 +26,7 @@ from repro.core.strategies import (
     Strategy,
     make_strategies,
 )
-from repro.core.engine import QueryEngine, QueryPlan, QueryResult
+from repro.core.engine import BatchResult, QueryEngine, QueryPlan, QueryResult
 from repro.core.mixture import MixtureQueryEngine, mixture_range_query
 from repro.core.database import SpatialDatabase
 from repro.core.monitor import MonitoringSession
@@ -40,6 +40,8 @@ from repro.core.oned import OneDimensionalDatabase, interval_probability
 __all__ = [
     "ProbabilisticRangeQuery",
     "QueryStats",
+    "BatchStats",
+    "BatchResult",
     "Strategy",
     "RectilinearStrategy",
     "ObliqueStrategy",

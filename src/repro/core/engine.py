@@ -10,16 +10,29 @@ keeps those with estimate >= θ.
 
 The engine is strategy-agnostic: the paper's six configurations are just
 different strategy lists (see :func:`repro.core.strategies.make_strategies`).
+
+Beyond single-query :meth:`QueryEngine.execute`, the engine offers a
+batched path — :meth:`QueryEngine.run` (sequential) and
+:meth:`QueryEngine.run_batch` (thread-parallel) — in which every query
+gets its own strategy clones and a forked integrator seeded from one
+spawned :class:`numpy.random.SeedSequence`.  Results therefore depend
+only on (seed, query position), never on worker count or completion
+order: ``run_batch(queries, workers=k)`` is bit-identical to
+``run(queries)`` for every ``k``.
 """
 
 from __future__ import annotations
 
+import functools
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.core.query import ProbabilisticRangeQuery
-from repro.core.stats import QueryStats
+from repro.core.stats import BatchStats, QueryStats
 from repro.core.strategies import ACCEPT, REJECT, Strategy
 from repro.errors import QueryError
 from repro.geometry.mbr import Rect
@@ -27,7 +40,13 @@ from repro.index.base import SpatialIndex
 from repro.integrate.base import ProbabilityIntegrator
 from repro.integrate.importance import ImportanceSamplingIntegrator
 
-__all__ = ["QueryEngine", "QueryResult"]
+__all__ = ["QueryEngine", "QueryResult", "BatchResult"]
+
+#: Signature of the optional per-query integrator factory accepted by
+#: ``run``/``run_batch``: (query, spawned seed sequence) -> integrator.
+IntegratorFactory = Callable[
+    [ProbabilisticRangeQuery, np.random.SeedSequence], ProbabilityIntegrator
+]
 
 
 @dataclass(frozen=True)
@@ -37,11 +56,39 @@ class QueryResult:
     ids: tuple[int, ...]
     stats: QueryStats
 
+    @functools.cached_property
+    def _id_set(self) -> frozenset[int]:
+        # Built lazily on first membership test and reused: ids is
+        # immutable, so rebuilding a set per `in` would be pure waste.
+        return frozenset(self.ids)
+
     def __len__(self) -> int:
         return len(self.ids)
 
     def __contains__(self, obj_id: int) -> bool:
-        return obj_id in set(self.ids)
+        return obj_id in self._id_set
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-query results (input order) plus batch-level statistics."""
+
+    results: tuple[QueryResult, ...]
+    stats: BatchStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> QueryResult:
+        return self.results[i]
+
+    @property
+    def ids(self) -> tuple[tuple[int, ...], ...]:
+        """The result id tuples, one per query, in input order."""
+        return tuple(r.ids for r in self.results)
 
 
 @dataclass(frozen=True)
@@ -107,20 +154,77 @@ class QueryEngine:
         self.phase1 = phase1
 
     def execute(self, query: ProbabilisticRangeQuery) -> QueryResult:
-        stats = QueryStats()
+        return self._execute_with(query, self.strategies, self.integrator)
 
-        # ------------------------------------------------------ Phase 1
-        with stats.time_phase("search"):
-            search_rect = self.prepare_search(query, stats)
-            if search_rect is None:
-                return QueryResult((), stats)
-            candidate_ids = self.index.range_search_rect(search_rect)
-            stats.retrieved = len(candidate_ids)
-            if not candidate_ids:
-                return QueryResult((), stats)
-            points = np.vstack([self.index.get(i) for i in candidate_ids])
+    def run(
+        self,
+        queries: Sequence[ProbabilisticRangeQuery],
+        *,
+        base_seed: int = 0,
+        integrator_factory: IntegratorFactory | None = None,
+    ) -> BatchResult:
+        """Execute a query batch sequentially with per-query RNG streams.
 
-        return self.filter_and_integrate(query, candidate_ids, points, stats)
+        This is the reference semantics for :meth:`run_batch`: each query
+        gets fresh strategy clones and an integrator forked from the
+        ``i``-th spawn of ``SeedSequence(base_seed)``, so the outcome of
+        query ``i`` is a pure function of (engine config, ``base_seed``,
+        ``i``) — independent of every other query in the batch.
+
+        ``integrator_factory(query, seed_seq)`` overrides the default
+        fork of the engine's integrator, e.g. to tune an adaptive sampler
+        to each query's own θ.
+        """
+        return self.run_batch(
+            queries,
+            workers=1,
+            base_seed=base_seed,
+            integrator_factory=integrator_factory,
+        )
+
+    def run_batch(
+        self,
+        queries: Sequence[ProbabilisticRangeQuery],
+        *,
+        workers: int = 1,
+        base_seed: int = 0,
+        integrator_factory: IntegratorFactory | None = None,
+    ) -> BatchResult:
+        """Execute independent queries, fanned out over a thread pool.
+
+        Returns a :class:`BatchResult` whose ``results`` follow the input
+        order.  Determinism contract: because every query owns its
+        strategy clones and a seed spawned by position, the results are
+        bit-identical for every ``workers`` value (and to :meth:`run`).
+        The engine instance itself is never mutated, so one engine can
+        serve many concurrent ``run_batch`` calls.
+        """
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        queries = list(queries)
+        seeds = np.random.SeedSequence(base_seed).spawn(len(queries))
+
+        def task(pair) -> QueryResult:
+            query, seed = pair
+            strategies = [s.clone() for s in self.strategies]
+            if integrator_factory is not None:
+                integrator = integrator_factory(query, seed)
+            else:
+                integrator = self.integrator.fork(seed)
+            return self._execute_with(query, strategies, integrator)
+
+        start = time.perf_counter()
+        if workers == 1 or len(queries) <= 1:
+            results = [task(pair) for pair in zip(queries, seeds)]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(task, zip(queries, seeds)))
+        wall = time.perf_counter() - start
+
+        batch = BatchStats(workers=workers, wall_seconds=wall)
+        for result in results:
+            batch.merge(result.stats)
+        return BatchResult(tuple(results), batch)
 
     def prepare_search(
         self, query: ProbabilisticRangeQuery, stats: QueryStats
@@ -130,21 +234,7 @@ class QueryEngine:
         Returns ``None`` when some strategy proved the result empty (the
         reason is recorded in ``stats.empty_by_strategy``).
         """
-        if query.dim != self.index.dim:
-            raise QueryError(
-                f"query dimension {query.dim} does not match index "
-                f"dimension {self.index.dim}"
-            )
-        for strategy in self.strategies:
-            strategy.prepare(query)
-        for strategy in self.strategies:
-            if strategy.proves_empty:
-                stats.empty_by_strategy = strategy.name
-                return None
-        search_rect = self._combined_search_rect()
-        if search_rect is None:
-            stats.empty_by_strategy = "intersection"
-        return search_rect
+        return self._prepare_search(query, self.strategies, stats)
 
     def filter_and_integrate(
         self,
@@ -159,24 +249,87 @@ class QueryEngine:
         :meth:`prepare_search`); the monitoring session uses this to feed
         cached candidates instead of a fresh index search.
         """
+        return self._filter_and_integrate(
+            query, candidate_ids, points, stats, self.strategies, self.integrator
+        )
+
+    # ------------------------------------------------------------------
+    # Internals parameterized by (strategies, integrator) so the batch
+    # path can run with per-query clones while the single-query path
+    # keeps using the engine's own instances.
+    # ------------------------------------------------------------------
+
+    def _execute_with(
+        self,
+        query: ProbabilisticRangeQuery,
+        strategies: list[Strategy],
+        integrator: ProbabilityIntegrator,
+    ) -> QueryResult:
+        stats = QueryStats()
+
+        # ------------------------------------------------------ Phase 1
+        with stats.time_phase("search"):
+            search_rect = self._prepare_search(query, strategies, stats)
+            if search_rect is None:
+                return QueryResult((), stats)
+            candidate_ids = self.index.range_search_rect(search_rect)
+            stats.retrieved = len(candidate_ids)
+            if not candidate_ids:
+                return QueryResult((), stats)
+            points = np.vstack([self.index.get(i) for i in candidate_ids])
+
+        return self._filter_and_integrate(
+            query, candidate_ids, points, stats, strategies, integrator
+        )
+
+    def _prepare_search(
+        self,
+        query: ProbabilisticRangeQuery,
+        strategies: list[Strategy],
+        stats: QueryStats,
+    ) -> Rect | None:
+        if query.dim != self.index.dim:
+            raise QueryError(
+                f"query dimension {query.dim} does not match index "
+                f"dimension {self.index.dim}"
+            )
+        for strategy in strategies:
+            strategy.prepare(query)
+        for strategy in strategies:
+            if strategy.proves_empty:
+                stats.empty_by_strategy = strategy.name
+                return None
+        search_rect = self._combined_search_rect(strategies)
+        if search_rect is None:
+            stats.empty_by_strategy = "intersection"
+        return search_rect
+
+    def _filter_and_integrate(
+        self,
+        query: ProbabilisticRangeQuery,
+        candidate_ids: list[int],
+        points: np.ndarray,
+        stats: QueryStats,
+        strategies: list[Strategy],
+        integrator: ProbabilityIntegrator,
+    ) -> QueryResult:
+        ids_arr = np.asarray(candidate_ids)
+
         # ------------------------------------------------------ Phase 2
-        accepted: list[int] = []
         with stats.time_phase("filter"):
-            undecided = np.ones(len(candidate_ids), dtype=bool)
-            accept_mask = np.zeros(len(candidate_ids), dtype=bool)
-            for strategy in self.strategies:
+            undecided = np.ones(ids_arr.size, dtype=bool)
+            accept_mask = np.zeros(ids_arr.size, dtype=bool)
+            for strategy in strategies:
                 if not np.any(undecided):
                     break
-                codes = strategy.classify(points[undecided])
+                codes = strategy.classify_many(points[undecided])
                 rejected = codes == REJECT
                 stats.note_rejections(strategy.name, int(np.count_nonzero(rejected)))
                 idx = np.nonzero(undecided)[0]
                 accept_mask[idx[codes == ACCEPT]] = True
                 undecided[idx[rejected]] = False
                 undecided[idx[codes == ACCEPT]] = False
-            accepted = [
-                candidate_ids[i] for i in np.nonzero(accept_mask)[0]
-            ]
+            accepted = ids_arr[accept_mask].tolist()
             stats.accepted_without_integration = len(accepted)
             to_integrate = np.nonzero(undecided)[0]
 
@@ -184,15 +337,15 @@ class QueryEngine:
         with stats.time_phase("integrate"):
             stats.integrations = int(to_integrate.size)
             if to_integrate.size:
-                estimates = self.integrator.qualification_probabilities(
+                estimates = integrator.qualification_probabilities(
                     query.gaussian, points[to_integrate], query.delta
                 )
                 for slot, result in zip(to_integrate, estimates):
                     stats.integration_samples += result.n_samples
                     if result.meets_threshold(query.theta):
-                        accepted.append(candidate_ids[slot])
+                        accepted.append(ids_arr[slot])
 
-        ids = tuple(sorted(accepted))
+        ids = tuple(int(i) for i in sorted(accepted))
         stats.results = len(ids)
         return QueryResult(ids, stats)
 
@@ -243,10 +396,10 @@ class QueryEngine:
             predicted_candidates=predicted,
         )
 
-    def _combined_search_rect(self) -> Rect | None:
+    def _combined_search_rect(self, strategies: list[Strategy]) -> Rect | None:
         """The Phase-1 rectangle per the engine's policy; ``None`` if empty."""
         rect: Rect | None = None
-        for strategy in self.strategies:
+        for strategy in strategies:
             contribution = strategy.search_rect()
             if contribution is None:
                 continue

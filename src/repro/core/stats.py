@@ -11,7 +11,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["QueryStats"]
+__all__ = ["QueryStats", "BatchStats"]
 
 
 @dataclass
@@ -68,4 +68,70 @@ class QueryStats:
             f"retrieved={self.retrieved} rejected={self.total_rejected} "
             f"accepted_free={self.accepted_without_integration} "
             f"integrated={self.integrations} results={self.results} [{phases}]"
+        )
+
+
+@dataclass
+class BatchStats:
+    """Aggregate counters over one ``QueryEngine.run``/``run_batch`` call.
+
+    Per-query ``QueryStats`` remain available on each ``QueryResult``;
+    this rolls them up into the totals a capacity planner reads first.
+    ``wall_seconds`` is the end-to-end batch wall time — under parallel
+    execution it is less than ``cpu_seconds``, the sum of the per-query
+    phase timings.
+    """
+
+    n_queries: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    retrieved: int = 0
+    rejected_by_filter: dict[str, int] = field(default_factory=dict)
+    accepted_without_integration: int = 0
+    integrations: int = 0
+    integration_samples: int = 0
+    results: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+
+    def merge(self, stats: QueryStats) -> None:
+        """Fold one query's counters into the batch totals."""
+        self.n_queries += 1
+        self.retrieved += stats.retrieved
+        for name, count in stats.rejected_by_filter.items():
+            self.rejected_by_filter[name] = (
+                self.rejected_by_filter.get(name, 0) + count
+            )
+        self.accepted_without_integration += stats.accepted_without_integration
+        self.integrations += stats.integrations
+        self.integration_samples += stats.integration_samples
+        self.results += stats.results
+        for phase, seconds in stats.phase_seconds.items():
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + seconds
+            )
+        self.latencies.append(stats.total_seconds)
+
+    @property
+    def cpu_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(self.rejected_by_filter.values())
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_seconds > 0:
+            return self.n_queries / self.wall_seconds
+        return float("inf")
+
+    def summary(self) -> str:
+        """One-line digest of the whole batch."""
+        return (
+            f"queries={self.n_queries} workers={self.workers} "
+            f"wall={self.wall_seconds * 1e3:.1f}ms "
+            f"retrieved={self.retrieved} rejected={self.total_rejected} "
+            f"accepted_free={self.accepted_without_integration} "
+            f"integrated={self.integrations} results={self.results}"
         )

@@ -19,6 +19,7 @@ together with the conservative catalog lookups.
 from __future__ import annotations
 
 import abc
+import copy
 import math
 
 import numpy as np
@@ -67,6 +68,34 @@ class Strategy(abc.ABC):
     @abc.abstractmethod
     def classify(self, points: np.ndarray) -> np.ndarray:
         """Phase-2 decision per candidate row: ACCEPT / REJECT / UNKNOWN."""
+
+    def classify_many(self, points: np.ndarray) -> np.ndarray:
+        """Classify a whole (n, d) candidate array in one call.
+
+        The engine's batch path always goes through this method.  The base
+        implementation falls back to the scalar path — one
+        :meth:`classify` call per row — so a subclass only has to
+        implement per-point logic to be correct; the built-in strategies
+        all override it with a single vectorised pass.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.shape[0] == 0:
+            return np.empty(0, dtype=np.int8)
+        return np.concatenate(
+            [np.atleast_1d(self.classify(row)).astype(np.int8) for row in pts]
+        )
+
+    def clone(self) -> "Strategy":
+        """An unprepared copy sharing configuration (lookups) but no
+        per-query state.
+
+        ``run_batch`` clones the engine's strategy templates once per
+        query so concurrent workers never share mutable ``prepare`` state.
+        The default shallow copy is correct for strategies whose only
+        shared attributes are immutable configuration; override if a
+        subclass holds mutable shared state.
+        """
+        return copy.copy(self)
 
     @property
     def proves_empty(self) -> bool:
@@ -136,6 +165,9 @@ class RectilinearStrategy(Strategy):
         codes[~region.contains_points(points)] = REJECT
         return codes
 
+    def classify_many(self, points: np.ndarray) -> np.ndarray:
+        return self.classify(points)  # already one vectorised pass
+
 
 class ObliqueStrategy(Strategy):
     """OR (Section IV-B): eigenbasis-aligned box inflated by δ.
@@ -175,6 +207,9 @@ class ObliqueStrategy(Strategy):
         codes = np.full(n, UNKNOWN, dtype=np.int8)
         codes[~self.box.contains_points(points)] = REJECT
         return codes
+
+    def classify_many(self, points: np.ndarray) -> np.ndarray:
+        return self.classify(points)  # already one vectorised pass
 
 
 class BoundingFunctionStrategy(Strategy):
@@ -261,6 +296,9 @@ class BoundingFunctionStrategy(Strategy):
             codes[distances <= self.alpha_lower] = ACCEPT
         return codes
 
+    def classify_many(self, points: np.ndarray) -> np.ndarray:
+        return self.classify(points)  # already one vectorised pass
+
 
 class EllipsoidStrategy(Strategy):
     """EM (ours): filter directly with the θ-region ⊕ δ-ball region.
@@ -307,6 +345,9 @@ class EllipsoidStrategy(Strategy):
         codes = np.full(pts.shape[0], UNKNOWN, dtype=np.int8)
         codes[ellipsoid.distance_to_surface(pts) > self._delta] = REJECT
         return codes
+
+    def classify_many(self, points: np.ndarray) -> np.ndarray:
+        return self.classify(points)  # already one vectorised pass
 
 
 #: The six configurations evaluated in the paper (Section V-A), plus the

@@ -10,6 +10,7 @@ coordinate system in which the θ-region is a plain sphere of radius r_θ
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
@@ -23,6 +24,35 @@ _ArrayLike = Sequence[float] | np.ndarray
 #: Relative tolerance used when checking symmetry of covariance matrices.
 _SYMMETRY_RTOL = 1e-8
 
+#: Distinct covariance shapes memoized by :func:`spectral_decomposition`.
+#: Small on purpose: a workload usually cycles through a handful of
+#: uncertainty models (the paper's three γ values), not thousands.
+_DECOMPOSITION_CACHE_SIZE = 128
+
+
+@functools.lru_cache(maxsize=_DECOMPOSITION_CACHE_SIZE)
+def _spectral_decomposition_cached(
+    payload: bytes, dim: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """eigh of the matrix serialized in ``payload``, write-protected.
+
+    ``functools.lru_cache`` is thread-safe, so concurrent batch workers
+    preparing the same covariance share one decomposition.  The returned
+    arrays are marked read-only because every cache hit aliases them.
+    """
+    mat = np.frombuffer(payload, dtype=float).reshape(dim, dim)
+    eigenvalues, eigenvectors = np.linalg.eigh(mat)
+    if eigenvalues[0] <= 0:
+        raise NotPositiveDefiniteError(
+            f"covariance matrix has non-positive eigenvalue {eigenvalues[0]:g}"
+        )
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    eigenvectors = np.ascontiguousarray(eigenvectors[:, order])
+    eigenvalues.setflags(write=False)
+    eigenvectors.setflags(write=False)
+    return eigenvalues, eigenvectors
+
 
 def spectral_decomposition(sigma: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Eigenvalues and eigenvectors of a covariance matrix.
@@ -30,6 +60,11 @@ def spectral_decomposition(sigma: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     Returns ``(eigenvalues, eigenvectors)`` with eigenvalues sorted in
     *descending* order and eigenvectors as columns, so
     ``sigma == eigenvectors @ diag(eigenvalues) @ eigenvectors.T``.
+
+    Results are memoized in a small LRU keyed on the matrix bytes, so
+    repeated query shapes (the common case in batched workloads) skip the
+    eigendecomposition entirely.  The returned arrays are read-only; copy
+    before mutating.
 
     Raises
     ------
@@ -44,13 +79,9 @@ def spectral_decomposition(sigma: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     scale = max(1.0, float(np.abs(mat).max()))
     if not np.allclose(mat, mat.T, atol=_SYMMETRY_RTOL * scale):
         raise NotPositiveDefiniteError("covariance matrix is not symmetric")
-    eigenvalues, eigenvectors = np.linalg.eigh(mat)
-    if eigenvalues[0] <= 0:
-        raise NotPositiveDefiniteError(
-            f"covariance matrix has non-positive eigenvalue {eigenvalues[0]:g}"
-        )
-    order = np.argsort(eigenvalues)[::-1]
-    return eigenvalues[order], eigenvectors[:, order]
+    return _spectral_decomposition_cached(
+        np.ascontiguousarray(mat).tobytes(), mat.shape[0]
+    )
 
 
 class EigenTransform:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import copy
 
 import numpy as np
 
@@ -42,6 +43,21 @@ class ProbabilityIntegrator(abc.ABC):
         return [
             self.qualification_probability(gaussian, row, delta) for row in pts
         ]
+
+    def fork(self, seed) -> "ProbabilityIntegrator":
+        """A same-configuration copy with a fresh, independent RNG stream.
+
+        ``seed`` may be anything :func:`numpy.random.default_rng` accepts,
+        including a :class:`numpy.random.SeedSequence`.  The batch engine
+        forks one integrator per query from a spawned seed sequence, so
+        estimates depend only on (engine seed, query position) — never on
+        worker count or completion order.  Deterministic integrators
+        (no internal RNG) are simply deep-copied.
+        """
+        clone = copy.deepcopy(self)
+        if hasattr(clone, "_rng"):
+            clone._rng = np.random.default_rng(seed)
+        return clone
 
     @staticmethod
     def _validate(gaussian: Gaussian, point: np.ndarray, delta: float) -> np.ndarray:

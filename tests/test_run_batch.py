@@ -1,0 +1,173 @@
+"""Batched execution: parity, determinism, and the classify_many fallback.
+
+``run_batch`` seeds every query's integrator from its position in the
+batch, so the same workload must come out bit-identical whether it runs
+on 1, 2 or 4 workers — and identical to the sequential ``run``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workload import WorkloadGenerator, run_workload
+from repro.core.database import SpatialDatabase
+from repro.core.engine import BatchResult, QueryResult
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.stats import QueryStats
+from repro.core.strategies import RectilinearStrategy, Strategy
+from repro.errors import QueryError
+from repro.gaussian.distribution import Gaussian
+from repro.integrate.sequential import SequentialImportanceSampler
+
+
+@pytest.fixture(scope="module")
+def database() -> SpatialDatabase:
+    rng = np.random.default_rng(99)
+    return SpatialDatabase(rng.random((4000, 2)) * 1000.0)
+
+
+@pytest.fixture(scope="module")
+def workload(database) -> list[ProbabilisticRangeQuery]:
+    return WorkloadGenerator(database, seed=5).batch(12)
+
+
+def batch_counts(batch: BatchResult) -> tuple:
+    s = batch.stats
+    return (
+        s.retrieved,
+        s.accepted_without_integration,
+        s.integrations,
+        s.results,
+        dict(s.rejected_by_filter),
+    )
+
+
+def test_run_batch_matches_sequential_run(database, workload):
+    engine = database.engine()
+    sequential = engine.run(workload, base_seed=17)
+    for workers in (1, 2, 4):
+        batch = engine.run_batch(workload, workers=workers, base_seed=17)
+        assert batch.ids == sequential.ids, f"ids diverged at workers={workers}"
+        assert batch_counts(batch) == batch_counts(sequential)
+        assert batch.stats.workers == workers
+        assert batch.stats.n_queries == len(workload)
+
+
+def test_run_batch_with_adaptive_factory(database, workload):
+    engine = database.engine()
+    factory = lambda q, seed: SequentialImportanceSampler(  # noqa: E731
+        q.theta, max_samples=20_000, seed=seed, share_batches=True
+    )
+    sequential = engine.run(workload, base_seed=3, integrator_factory=factory)
+    for workers in (2, 4):
+        batch = engine.run_batch(
+            workload, workers=workers, base_seed=3, integrator_factory=factory
+        )
+        assert batch.ids == sequential.ids
+        # Same forked seeds => identical adaptive stopping points.
+        assert batch.stats.integration_samples == (
+            sequential.stats.integration_samples
+        )
+
+
+def test_run_workload_workers_parity(database, workload):
+    seq = run_workload(database, workload, workers=1)
+    par = run_workload(database, workload, workers=4)
+    assert seq.answers == par.answers
+    assert seq.integrations == par.integrations
+    assert par.workers == 4 and par.wall_seconds is not None
+
+
+def test_run_batch_rejects_bad_workers(database, workload):
+    engine = database.engine()
+    with pytest.raises(QueryError):
+        engine.run_batch(workload, workers=0)
+
+
+def test_run_batch_empty_batch(database):
+    batch = database.engine().run_batch([])
+    assert len(batch) == 0 and batch.stats.n_queries == 0
+
+
+def test_batch_result_container_protocol(database, workload):
+    batch = database.engine().run_batch(workload[:3], workers=2)
+    assert len(batch) == 3
+    assert [r for r in batch] == list(batch.results)
+    assert batch[1] is batch.results[1]
+    assert batch.ids == tuple(r.ids for r in batch.results)
+
+
+class ScalarOnlyStrategy(Strategy):
+    """Implements only the per-point scalar path; classify_many must fall
+    back to it through the abstract base."""
+
+    name = "RRscalar"
+
+    def __init__(self):
+        self._inner = RectilinearStrategy()
+
+    def clone(self):
+        # The base shallow copy would share the mutable ``_inner`` across
+        # per-query clones — exactly the case the Strategy.clone docstring
+        # says requires an override.
+        return ScalarOnlyStrategy()
+
+    def prepare(self, query) -> None:
+        self._inner.prepare(query)
+
+    def search_rect(self):
+        return self._inner.search_rect()
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        assert pts.shape[0] == 1, "scalar path must be fed row by row"
+        return self._inner.classify(pts)
+
+
+def test_classify_many_scalar_fallback(database):
+    query = ProbabilisticRangeQuery(
+        Gaussian([500.0, 500.0], 100.0 * np.eye(2)), 25.0, 0.05
+    )
+    scalar = ScalarOnlyStrategy()
+    vectorised = RectilinearStrategy()
+    scalar.prepare(query)
+    vectorised.prepare(query)
+    rng = np.random.default_rng(1)
+    points = 400.0 + 200.0 * rng.random((50, 2))
+    np.testing.assert_array_equal(
+        scalar.classify_many(points), vectorised.classify_many(points)
+    )
+    assert scalar.classify_many(np.empty((0, 2))).size == 0
+
+
+def test_engine_accepts_scalar_only_strategy(database):
+    """The batch path works end to end with a base-fallback strategy."""
+    queries = WorkloadGenerator(database, seed=8).batch(3)
+    reference = database.engine(strategies="rr").run(queries, base_seed=5)
+    engine = database.engine(strategies=[ScalarOnlyStrategy()])
+    batch = engine.run_batch(queries, workers=2, base_seed=5)
+    assert batch.ids == reference.ids
+
+
+def test_query_result_contains_uses_cached_set():
+    result = QueryResult((3, 7, 11), QueryStats())
+    assert 7 in result and 8 not in result
+    assert result._id_set is result._id_set  # memoized, not rebuilt per check
+    assert isinstance(result._id_set, frozenset)
+
+
+def test_strategy_clone_isolates_prepared_state(database):
+    template = RectilinearStrategy()
+    q1 = ProbabilisticRangeQuery(
+        Gaussian([100.0, 100.0], 50.0 * np.eye(2)), 10.0, 0.1
+    )
+    q2 = ProbabilisticRangeQuery(
+        Gaussian([900.0, 900.0], 50.0 * np.eye(2)), 10.0, 0.1
+    )
+    a, b = template.clone(), template.clone()
+    a.prepare(q1)
+    b.prepare(q2)
+    assert a.region.core.center[0] != b.region.core.center[0]
+    with pytest.raises(QueryError):
+        template.region  # the template itself stays unprepared
