@@ -9,10 +9,11 @@ batched ``run_batch`` execution path.
 
 from __future__ import annotations
 
-from conftest import bench_batch_queries, bench_samples, report
+from conftest import bench_batch_queries, bench_samples, report, report_json
 
 from repro.bench.harness import ExperimentTable, load_road_database, stopwatch
 from repro.bench.workload import WorkloadGenerator, run_workload
+from repro.integrate.cascade import CascadeIntegrator
 from repro.integrate.importance import ImportanceSamplingIntegrator
 
 
@@ -49,6 +50,111 @@ def test_workload_throughput(benchmark):
     assert rows["adaptive"][4] == rows["fixed"][4]
     # ... and the adaptive sampler must deliver more throughput.
     assert rows["adaptive"][3] > rows["fixed"][3]
+
+
+def test_cascade_speedup(benchmark):
+    """Deterministic Phase-3 cascade vs the paper's fixed-budget sampler.
+
+    The acceptance bar: on the 30-query road workload the cascade's
+    Phase 3 must be >= 5x faster than fixed-budget importance sampling,
+    produce identical result sets up to the sampler's own binomial noise,
+    and decide >= 80% of Phase-3 candidates analytically in Tiers 1/2
+    (sandwich bounds / batched Ruben) without ever reaching Imhof or
+    drawing a sample.
+
+    "Identical up to sampler noise" is the strongest statement that can
+    hold for *any* finite sample budget: the cascade is exact (the unit
+    suite pins it to the Imhof/Ruben ground truth), so wherever the two
+    backends disagree the candidate's true probability must lie within
+    the fixed sampler's confidence band around θ — i.e. every
+    discrepancy is a coin-toss candidate the sampler cannot decide, never
+    a cascade error.
+    """
+
+    def run():
+        db = load_road_database()
+        generator = WorkloadGenerator(db, seed=7)
+        queries = generator.batch(30)
+        fixed = run_workload(
+            db,
+            queries,
+            integrator=ImportanceSamplingIntegrator(bench_samples(), seed=1),
+        )
+        cascade = run_workload(db, queries, integrator=CascadeIntegrator())
+        table = ExperimentTable(
+            "Workload — 30 mixed queries, fixed-budget sampling vs "
+            "deterministic cascade Phase 3",
+            ["mode", "phase-3 s", "p95 ms", "qps", "samples drawn"],
+        )
+        fixed_p3 = fixed.phase_totals.get("integrate", 0.0)
+        cascade_p3 = cascade.phase_totals.get("integrate", 0.0)
+        for label, rep, p3, drawn in (
+            ("fixed", fixed, fixed_p3, bench_samples() * sum(fixed.integrations)),
+            ("cascade", cascade, cascade_p3, 0),
+        ):
+            table.add_row(
+                label, p3, rep.percentile(95) * 1e3, rep.queries_per_second,
+                drawn,
+            )
+        speedup = fixed_p3 / cascade_p3 if cascade_p3 > 0 else float("inf")
+
+        # Result-set identity up to sampler noise: every id on which the
+        # two backends disagree must be a borderline candidate — exact
+        # probability within 5 binomial standard errors of the query's θ.
+        evaluator = CascadeIntegrator()
+        noise_flips = 0
+        for query, f_ids, c_ids in zip(
+            queries, fixed.result_ids, cascade.result_ids
+        ):
+            for oid in set(f_ids) ^ set(c_ids):
+                p = evaluator.qualification_probability(
+                    query.gaussian, db.point(oid), query.delta
+                ).estimate
+                stderr = (
+                    query.theta * (1.0 - query.theta) / bench_samples()
+                ) ** 0.5
+                assert abs(p - query.theta) <= 5.0 * stderr, (
+                    f"non-borderline disagreement: id {oid}, exact p={p:.6f} "
+                    f"vs theta={query.theta:.6f} (stderr {stderr:.2e})"
+                )
+                noise_flips += 1
+
+        tiers = cascade.tier_decisions
+        table.note(
+            f"phase-3 speedup: {speedup:.1f}x; "
+            f"borderline ids flipped by sampler noise: {noise_flips}; "
+            "tier decisions: "
+            + " ".join(f"{k}={v}" for k, v in sorted(tiers.items()))
+        )
+        return table, fixed, cascade, speedup, noise_flips
+
+    table, fixed, cascade, speedup, noise_flips = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report("workload_cascade", table.render())
+    tiers = cascade.tier_decisions
+    total = sum(cascade.integrations)
+    analytic = tiers.get("cascade-sandwich", 0) + tiers.get("cascade-ruben", 0)
+    report_json(
+        "workload_cascade",
+        {
+            "phase3_speedup_vs_fixed": speedup,
+            "phase3_seconds": {
+                "fixed": fixed.phase_totals.get("integrate", 0.0),
+                "cascade": cascade.phase_totals.get("integrate", 0.0),
+            },
+            "tier_decisions": tiers,
+            "phase3_candidates": total,
+            "analytic_decision_share": analytic / total if total else 1.0,
+            "sampler_noise_flips": noise_flips,
+        },
+    )
+
+    assert speedup >= 5.0, f"cascade Phase 3 only {speedup:.1f}x faster"
+    assert total > 0, "workload produced no Phase-3 candidates"
+    assert analytic >= 0.8 * total, (
+        f"only {analytic}/{total} Phase-3 candidates decided by Tiers 1/2"
+    )
 
 
 def test_batch_speedup(benchmark):

@@ -44,6 +44,16 @@ def report(name: str, text: str) -> None:
     _collected.append(text)
 
 
+def report_json(name: str, payload: dict) -> None:
+    """Record machine-readable experiment data (per-tier counts etc.)."""
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _collected:
         return

@@ -56,6 +56,7 @@ from repro.gaussian import Gaussian, GaussianMixture
 from repro.index import GridIndex, LinearScanIndex, RStarTree
 from repro.integrate import (
     AntitheticImportanceSampler,
+    CascadeIntegrator,
     ExactIntegrator,
     SequentialImportanceSampler,
     ImportanceSamplingIntegrator,
@@ -100,6 +101,7 @@ __all__ = [
     "ImportanceSamplingIntegrator",
     "MonteCarloIntegrator",
     "QuasiMonteCarloIntegrator",
+    "CascadeIntegrator",
     "ExactIntegrator",
     "SequentialImportanceSampler",
     "AntitheticImportanceSampler",

@@ -123,6 +123,12 @@ class WorkloadReport:
     latencies: list[float] = field(default_factory=list)
     integrations: list[int] = field(default_factory=list)
     answers: list[int] = field(default_factory=list)
+    #: Per-query result id tuples, input order — for cross-integrator
+    #: result-set identity checks.
+    result_ids: list[tuple[int, ...]] = field(default_factory=list)
+    #: Phase-3 decision counts keyed by evaluator method (the cascade's
+    #: per-tier breakdown), summed over the batch.
+    tier_decisions: dict[str, int] = field(default_factory=dict)
     phase_totals: dict[str, float] = field(default_factory=dict)
     #: End-to-end batch wall time; None on the legacy per-query path,
     #: where per-query latencies are the only timing available.
@@ -211,7 +217,9 @@ def run_workload(
             report.latencies.append(result.stats.total_seconds)
             report.integrations.append(result.stats.integrations)
             report.answers.append(len(result))
+            report.result_ids.append(result.ids)
         report.phase_totals = dict(batch.stats.phase_seconds)
+        report.tier_decisions = dict(batch.stats.tier_decisions)
         return report
     for query in queries:
         engine = database.engine(
@@ -223,6 +231,11 @@ def run_workload(
         report.latencies.append(result.stats.total_seconds)
         report.integrations.append(result.stats.integrations)
         report.answers.append(len(result))
+        report.result_ids.append(result.ids)
+        for method, count in result.stats.tier_decisions.items():
+            report.tier_decisions[method] = (
+                report.tier_decisions.get(method, 0) + count
+            )
         for phase, seconds in result.stats.phase_seconds.items():
             report.phase_totals[phase] = (
                 report.phase_totals.get(phase, 0.0) + seconds

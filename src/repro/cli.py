@@ -56,8 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--delta", type=float, default=None)
     query.add_argument("--theta", type=float, default=None)
     query.add_argument("--strategies", default="all")
+    query.add_argument("--integrator", default=None,
+                       choices=["importance", "sequential", "exact", "cascade"],
+                       help="Phase-3 evaluator: the paper's fixed-budget "
+                       "importance sampler, the adaptive sequential sampler, "
+                       "the exact quadratic-form CDF, or the deterministic "
+                       "sandwich/Ruben/Imhof cascade (default: engine "
+                       "default, i.e. importance sampling)")
     query.add_argument("--exact", action="store_true",
-                       help="use the exact integrator instead of sampling")
+                       help="shorthand for --integrator exact")
     query.add_argument("--batch", default=None, metavar="FILE",
                        help="JSON file with a list of query specs "
                        '[{"center": [...], "delta": d, "theta": t, '
@@ -140,8 +147,33 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _integrator_choice(args) -> str | None:
+    """The selected Phase-3 evaluator name, folding in the --exact shorthand."""
+    return args.integrator or ("exact" if args.exact else None)
+
+
+def _make_integrator(choice: str | None, theta: float | None, seed: int):
+    """Build the Phase-3 evaluator for one query (None = engine default)."""
+    from repro.integrate import (
+        CascadeIntegrator,
+        ExactIntegrator,
+        ImportanceSamplingIntegrator,
+        SequentialImportanceSampler,
+    )
+
+    if choice is None:
+        return None
+    if choice == "importance":
+        return ImportanceSamplingIntegrator(seed=seed)
+    if choice == "exact":
+        return ExactIntegrator()
+    if choice == "cascade":
+        return CascadeIntegrator()
+    return SequentialImportanceSampler(theta, seed=seed, share_batches=True)
+
+
 def _cmd_query(args) -> int:
-    from repro import ExactIntegrator, Gaussian, SpatialDatabase
+    from repro import Gaussian, SpatialDatabase
 
     db = SpatialDatabase.load(args.database)
     if args.batch is not None:
@@ -156,7 +188,9 @@ def _cmd_query(args) -> int:
               f"{center.size} center coordinates", file=sys.stderr)
         return 2
     gaussian = Gaussian(center, args.sigma_scale * np.eye(db.dim))
-    integrator = ExactIntegrator() if args.exact else None
+    integrator = _make_integrator(
+        _integrator_choice(args), args.theta, args.seed
+    )
     result = db.probabilistic_range_query(
         gaussian, args.delta, args.theta,
         strategies=args.strategies, integrator=integrator,
@@ -164,6 +198,11 @@ def _cmd_query(args) -> int:
     print(f"{len(result)} objects qualify")
     print("ids:", " ".join(str(i) for i in result.ids))
     print("stats:", result.stats.summary())
+    if result.stats.tier_decisions:
+        print("phase-3 decisions:", " ".join(
+            f"{name}={count}"
+            for name, count in sorted(result.stats.tier_decisions.items())
+        ))
     return 0
 
 
@@ -172,7 +211,7 @@ def _run_query_batch(db, args) -> int:
     import json
     from pathlib import Path
 
-    from repro import ExactIntegrator, Gaussian
+    from repro import Gaussian
     from repro.core.query import ProbabilisticRangeQuery
 
     try:
@@ -201,15 +240,33 @@ def _run_query_batch(db, args) -> int:
         except (KeyError, TypeError, ValueError) as exc:
             print(f"error: bad query spec #{i}: {exc}", file=sys.stderr)
             return 2
-    integrator = ExactIntegrator() if args.exact else None
-    engine = db.engine(strategies=args.strategies, integrator=integrator)
+    choice = _integrator_choice(args)
+    if choice == "sequential":
+        # The adaptive sampler is tuned to each query's own θ, so the
+        # batch path builds one integrator per query via the factory.
+        engine = db.engine(strategies=args.strategies)
+        factory = lambda query, seed: _make_integrator(  # noqa: E731
+            choice, query.theta, seed
+        )
+    else:
+        engine = db.engine(
+            strategies=args.strategies,
+            integrator=_make_integrator(choice, None, args.seed),
+        )
+        factory = None
     batch = engine.run_batch(
-        queries, workers=args.workers, base_seed=args.seed
+        queries, workers=args.workers, base_seed=args.seed,
+        integrator_factory=factory,
     )
     for i, result in enumerate(batch):
         print(f"query {i}: {len(result)} objects "
               f"[{' '.join(str(j) for j in result.ids)}]")
     print("batch:", batch.stats.summary())
+    if batch.stats.tier_decisions:
+        print("phase-3 decisions:", " ".join(
+            f"{name}={count}"
+            for name, count in sorted(batch.stats.tier_decisions.items())
+        ))
     return 0
 
 

@@ -334,15 +334,21 @@ class QueryEngine:
             to_integrate = np.nonzero(undecided)[0]
 
         # ------------------------------------------------------ Phase 3
+        # Decision-aware: the integrator only has to settle p >= θ per
+        # candidate, so bound-based backends (the cascade) can decide most
+        # of the block without ever computing a full probability.  The
+        # base-class decide() is qualification_probabilities + the
+        # estimate >= θ rule, so sampling integrators behave identically.
         with stats.time_phase("integrate"):
             stats.integrations = int(to_integrate.size)
             if to_integrate.size:
-                estimates = integrator.qualification_probabilities(
-                    query.gaussian, points[to_integrate], query.delta
+                accept, _, estimates = integrator.decide(
+                    query.gaussian, points[to_integrate], query.delta, query.theta
                 )
-                for slot, result in zip(to_integrate, estimates):
+                for slot, result, is_accept in zip(to_integrate, estimates, accept):
                     stats.integration_samples += result.n_samples
-                    if result.meets_threshold(query.theta):
+                    stats.note_decision(result.method)
+                    if is_accept:
                         accepted.append(ids_arr[slot])
 
         ids = tuple(int(i) for i in sorted(accepted))

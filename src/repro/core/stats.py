@@ -30,6 +30,10 @@ class QueryStats:
     results: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     integration_samples: int = 0
+    #: Phase-3 decisions keyed by the deciding evaluator's method label —
+    #: for the cascade this is the per-tier breakdown
+    #: ("cascade-sandwich"/"cascade-ruben"/"cascade-imhof").
+    tier_decisions: dict[str, int] = field(default_factory=dict)
     empty_by_strategy: str | None = None
     #: True when a monitoring session served Phase 1 from its cache.
     cache_hit: bool = False
@@ -56,6 +60,13 @@ class QueryStats:
         if count:
             self.rejected_by_filter[strategy_name] = (
                 self.rejected_by_filter.get(strategy_name, 0) + count
+            )
+
+    def note_decision(self, method: str, count: int = 1) -> None:
+        """Record a Phase-3 θ-decision made by evaluator tier ``method``."""
+        if count:
+            self.tier_decisions[method] = (
+                self.tier_decisions.get(method, 0) + count
             )
 
     def summary(self) -> str:
@@ -90,6 +101,7 @@ class BatchStats:
     accepted_without_integration: int = 0
     integrations: int = 0
     integration_samples: int = 0
+    tier_decisions: dict[str, int] = field(default_factory=dict)
     results: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)
@@ -105,6 +117,10 @@ class BatchStats:
         self.accepted_without_integration += stats.accepted_without_integration
         self.integrations += stats.integrations
         self.integration_samples += stats.integration_samples
+        for method, count in stats.tier_decisions.items():
+            self.tier_decisions[method] = (
+                self.tier_decisions.get(method, 0) + count
+            )
         self.results += stats.results
         for phase, seconds in stats.phase_seconds.items():
             self.phase_seconds[phase] = (

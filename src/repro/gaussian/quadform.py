@@ -33,6 +33,9 @@ __all__ = [
     "GaussianQuadraticForm",
     "imhof_cdf",
     "ruben_cdf",
+    "ruben_series_block",
+    "chi2_sandwich_bounds",
+    "chi2_sandwich_bounds_block",
     "qualification_probability_exact",
 ]
 
@@ -88,6 +91,26 @@ class GaussianQuadraticForm:
         weights = gaussian.eigenvalues
         noncentralities = rotated**2 / weights
         return cls(weights, np.ones(gaussian.dim), noncentralities)
+
+    @staticmethod
+    def squared_distance_spectrum(
+        gaussian: Gaussian, points: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shared spectrum of the forms ‖x − pointsᵢ‖² for x ~ ``gaussian``.
+
+        All candidates of one query share the eigenvalues λ (the weights)
+        and unit degrees of freedom; only the noncentralities differ.
+        Returns ``(weights, noncentralities)`` with shapes ``(d,)`` and
+        ``(m, d)`` — the inputs the batched evaluators fan out over.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.ndim != 2 or pts.shape[1] != gaussian.dim:
+            raise GeometryError(
+                f"points shape {pts.shape} does not match Gaussian dim "
+                f"{gaussian.dim}"
+            )
+        rotated = (gaussian.mean[None, :] - pts) @ gaussian.basis
+        return gaussian.eigenvalues, rotated**2 / gaussian.eigenvalues
 
     def mean(self) -> float:
         """E[Q] = Σ λⱼ (hⱼ + δⱼ²)."""
@@ -217,23 +240,30 @@ def ruben_cdf(
             f"Ruben's leading weight underflows (log a0 = {log_a0:.0f}); the "
             "noncentrality is too large for this expansion — use Imhof"
         )
-    a = [math.exp(log_a0)]
+    # Mixture weights a_k and series coefficients g_k as growing arrays so
+    # the convolution a_k = (1/(2k)) sum_{r<=k} g_r a_{k-r} is one rolling
+    # dot product instead of an O(k) Python loop per term.
+    capacity = 64
+    a = np.zeros(capacity)
+    g = np.zeros(capacity)
+    a[0] = math.exp(log_a0)
     # g_k = sum_j h_j r_j^k + k*beta * sum_j (nc_j/lam_j) r_j^(k-1)
     weight_sum = a[0]
     scaled_x = x / beta
     cdf = a[0] * float(special.gammainc(rho / 2.0, scaled_x / 2.0))
     ratio_pow = np.ones_like(ratios)  # r_j^(k-1) entering iteration k
     nc_over_lam = nc / lam
-    g_list: list[float] = []
     for k in range(1, max_terms + 1):
-        g_k = float(np.sum(h * ratio_pow * ratios)) + k * beta * float(
+        if k >= capacity:
+            capacity *= 2
+            a = np.concatenate([a, np.zeros(capacity - a.size)])
+            g = np.concatenate([g, np.zeros(capacity - g.size)])
+        g[k - 1] = float(np.sum(h * ratio_pow * ratios)) + k * beta * float(
             np.sum(nc_over_lam * ratio_pow)
         )
         ratio_pow = ratio_pow * ratios
-        g_list.append(g_k)
-        # a_k = (1/(2k)) * sum_{r=1..k} g_r a_{k-r}
-        a_k = sum(g_list[r - 1] * a[k - r] for r in range(1, k + 1)) / (2.0 * k)
-        a.append(a_k)
+        a_k = float(np.dot(g[:k], a[k - 1 :: -1])) / (2.0 * k)
+        a[k] = a_k
         weight_sum += a_k
         cdf += a_k * float(special.gammainc((rho + 2 * k) / 2.0, scaled_x / 2.0))
         if 1.0 - weight_sum < tol:
@@ -247,6 +277,138 @@ def ruben_cdf(
     return float(min(1.0, max(0.0, cdf)))
 
 
+def ruben_series_block(
+    weights: np.ndarray,
+    dofs: np.ndarray,
+    noncentralities: np.ndarray,
+    x: float,
+    *,
+    theta: float | None = None,
+    tol: float = 1e-12,
+    max_terms: int = 10_000,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched Ruben series over a block of candidates sharing one spectrum.
+
+    ``noncentralities`` is an ``(m, d)`` block — one row per candidate —
+    while ``weights``/``dofs`` (shape ``(d,)``) are shared, as produced by
+    :meth:`GaussianQuadraticForm.squared_distance_spectrum`.  The a_k
+    recursion runs as array operations over the whole block, and the
+    expansion parameter β, the ratio powers r_jᵏ and the incomplete-gamma
+    table gammainc((ρ+2k)/2, x/2β) are computed once per term and shared
+    by every candidate.
+
+    Returns ``(lower, upper, ok)``: rigorous per-candidate bounds
+    [partial sum, partial sum + remaining-mass bound] on P(Q ≤ x) at each
+    candidate's stopping point, and ``ok=False`` where the expansion is
+    unusable (leading weight underflow, or no decision within
+    ``max_terms`` terms) and the caller must fall back to Imhof.
+
+    Truncation is decision-aware: with ``theta`` given, a candidate stops
+    as soon as its [lower, upper] interval excludes θ; without it (or for
+    genuinely borderline candidates) it stops once the interval is
+    narrower than ``tol``.
+    """
+    lam = np.asarray(weights, dtype=float)
+    h = np.asarray(dofs, dtype=float)
+    ncs = np.atleast_2d(np.asarray(noncentralities, dtype=float))
+    m = ncs.shape[0]
+    lower = np.zeros(m)
+    upper = np.ones(m)
+    ok = np.ones(m, dtype=bool)
+    if m == 0:
+        return lower, upper, ok
+    if x <= 0:
+        return lower, np.zeros(m), ok  # P(Q <= x) = 0 exactly
+
+    beta = float(lam.min())
+    ratios = 1.0 - beta / lam  # r_j in [0, 1)
+    rho = float(h.sum())
+    log_a0 = -0.5 * ncs.sum(axis=1) + 0.5 * float(np.sum(h * np.log(beta / lam)))
+    usable = log_a0 >= -700.0
+    ok &= usable
+    rows = np.nonzero(usable)[0]
+    if rows.size == 0:
+        return lower, upper, ok
+
+    n = rows.size
+    capacity = 64
+    a = np.zeros((n, capacity))
+    g = np.zeros((n, capacity))
+    a[:, 0] = np.exp(log_a0[rows])
+    weight_sum = a[:, 0].copy()
+    scaled_half_x = x / (2.0 * beta)
+    gamma_k = float(special.gammainc(rho / 2.0, scaled_half_x))
+    cdf = a[:, 0] * gamma_k
+    nc_over_lam = ncs[rows] / lam
+    ratio_pow = np.ones_like(ratios)  # r_j^(k-1) entering iteration k
+    lo = np.zeros(n)
+    hi = np.ones(n)
+    active = np.ones(n, dtype=bool)
+
+    def settle(idx: np.ndarray) -> None:
+        """Record bounds for ``idx`` and retire the decided candidates.
+
+        The tail Σ_{k>K} a_k·G_k is bounded below by 0 and above by the
+        remaining mass times the current G_K (G_k decreases in k), so the
+        interval [cdf, cdf + rem·G_K] always contains the true CDF.
+        """
+        rem = np.maximum(1.0 - weight_sum[idx], 0.0)
+        lo[idx] = np.clip(cdf[idx], 0.0, 1.0)
+        hi[idx] = np.clip(cdf[idx] + rem * gamma_k, 0.0, 1.0)
+        done = hi[idx] - lo[idx] < tol
+        if theta is not None:
+            done |= (lo[idx] >= theta) | (hi[idx] < theta)
+        active[idx[done]] = False
+
+    settle(np.arange(n))
+    for k in range(1, max_terms + 1):
+        idx = np.nonzero(active)[0]
+        if idx.size == 0:
+            break
+        if k >= capacity:
+            grown = capacity * 2
+            a = np.concatenate([a, np.zeros((n, grown - capacity))], axis=1)
+            g = np.concatenate([g, np.zeros((n, grown - capacity))], axis=1)
+            capacity = grown
+        shared = float(np.sum(h * ratio_pow * ratios))  # Σ h_j r_j^k
+        g[idx, k - 1] = shared + k * beta * (nc_over_lam[idx] @ ratio_pow)
+        ratio_pow = ratio_pow * ratios
+        # a_k = (1/(2k)) Σ_{r=1..k} g_r a_{k-r}: one rolling dot per row.
+        a[idx, k] = (
+            np.einsum("ij,ij->i", g[idx, :k], a[idx, k - 1 :: -1]) / (2.0 * k)
+        )
+        weight_sum[idx] += a[idx, k]
+        gamma_k = float(special.gammainc((rho + 2 * k) / 2.0, scaled_half_x))
+        cdf[idx] += a[idx, k] * gamma_k
+        settle(idx)
+    ok[rows[active]] = False  # undecided at max_terms: caller falls back
+    lower[rows] = lo
+    upper[rows] = hi
+    return lower, upper, ok
+
+
+def _sandwich_core(
+    x: float, df: float, nc_totals: np.ndarray, lam_min: float, lam_max: float
+) -> np.ndarray:
+    """Shared (m, 2) sandwich-bound evaluation over total noncentralities."""
+    from scipy import stats as _stats
+
+    nc_totals = np.asarray(nc_totals, dtype=float)
+    bounds = np.zeros((nc_totals.size, 2))
+    if x <= 0:
+        return bounds
+    noncentral = nc_totals > 0
+    if np.any(noncentral):
+        nc = nc_totals[noncentral]
+        bounds[noncentral, 0] = _stats.ncx2.cdf(x / lam_max, df, nc)
+        bounds[noncentral, 1] = _stats.ncx2.cdf(x / lam_min, df, nc)
+    if not np.all(noncentral):
+        central = ~noncentral
+        bounds[central, 0] = _stats.chi2.cdf(x / lam_max, df)
+        bounds[central, 1] = _stats.chi2.cdf(x / lam_min, df)
+    return bounds
+
+
 def chi2_sandwich_bounds(
     form: GaussianQuadraticForm, x: float
 ) -> tuple[float, float]:
@@ -254,23 +416,39 @@ def chi2_sandwich_bounds(
 
     Since λ_min·χ²_d(Σδ²) ≤ Q ≤ λ_max·χ²_d(Σδ²) pointwise (with the same
     underlying normals), the noncentral-χ² CDF evaluated at x/λ_max and
-    x/λ_min sandwiches the true CDF.
+    x/λ_min sandwiches the true CDF.  Thin scalar wrapper over the
+    vectorised block path.
     """
-    from scipy import stats as _stats
+    bounds = _sandwich_core(
+        float(x),
+        float(form.dofs.sum()),
+        np.array([form.noncentralities.sum()]),
+        float(form.weights.min()),
+        float(form.weights.max()),
+    )
+    return (float(bounds[0, 0]), float(bounds[0, 1]))
 
-    if x <= 0:
-        return (0.0, 0.0)
-    df = float(form.dofs.sum())
-    nc_total = float(form.noncentralities.sum())
-    lam_min = float(form.weights.min())
-    lam_max = float(form.weights.max())
-    if nc_total > 0:
-        lower = float(_stats.ncx2.cdf(x / lam_max, df, nc_total))
-        upper = float(_stats.ncx2.cdf(x / lam_min, df, nc_total))
-    else:
-        lower = float(_stats.chi2.cdf(x / lam_max, df))
-        upper = float(_stats.chi2.cdf(x / lam_min, df))
-    return (lower, upper)
+
+def chi2_sandwich_bounds_block(
+    gaussian: Gaussian, points: np.ndarray, delta: float
+) -> np.ndarray:
+    """Sandwich bounds on P(‖x − pointsᵢ‖ ≤ delta) for an (m, d) block.
+
+    One vectorised noncentral-χ² CDF call covers every candidate: the
+    degrees of freedom and the weight extrema are shared per query, only
+    the total noncentralities vary by row.  Returns an ``(m, 2)`` array of
+    [lower, upper] bounds.
+    """
+    weights, ncs = GaussianQuadraticForm.squared_distance_spectrum(
+        gaussian, points
+    )
+    return _sandwich_core(
+        float(delta) ** 2,
+        float(weights.size),
+        ncs.sum(axis=1),
+        float(weights.min()),
+        float(weights.max()),
+    )
 
 
 #: Probabilities closer than this to 0 or 1 are resolved by the sandwich

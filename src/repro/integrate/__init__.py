@@ -10,7 +10,10 @@ sharing one interface:
   times the ball volume times the mean density;
 - :class:`QuasiMonteCarloIntegrator` — randomized-Halton QMC;
 - :class:`ExactIntegrator` — the closed-form quadratic-form CDF
-  (:mod:`repro.gaussian.quadform`), zero variance, used as ground truth.
+  (:mod:`repro.gaussian.quadform`), zero variance, used as ground truth;
+- :class:`CascadeIntegrator` — tiered deterministic θ-decisions: vectorised
+  χ² sandwich pruning, batched Ruben series with decision-aware
+  truncation, scalar Imhof only as a last resort.
 
 All of them return an :class:`IntegrationResult` carrying the estimate,
 its standard error and the sample count.
@@ -23,6 +26,7 @@ from repro.integrate.importance import ImportanceSamplingIntegrator
 from repro.integrate.halton import halton_sequence, first_primes
 from repro.integrate.qmc import QuasiMonteCarloIntegrator
 from repro.integrate.exact import ExactIntegrator
+from repro.integrate.cascade import CascadeIntegrator
 from repro.integrate.sequential import SequentialImportanceSampler
 from repro.integrate.antithetic import AntitheticImportanceSampler
 
@@ -33,6 +37,7 @@ __all__ = [
     "ImportanceSamplingIntegrator",
     "QuasiMonteCarloIntegrator",
     "ExactIntegrator",
+    "CascadeIntegrator",
     "SequentialImportanceSampler",
     "AntitheticImportanceSampler",
     "halton_sequence",

@@ -44,6 +44,36 @@ class ProbabilityIntegrator(abc.ABC):
             self.qualification_probability(gaussian, row, delta) for row in pts
         ]
 
+    def decide(
+        self,
+        gaussian: Gaussian,
+        points: np.ndarray,
+        delta: float,
+        theta: float,
+    ) -> tuple[np.ndarray, np.ndarray, list[IntegrationResult]]:
+        """Batched θ-decisions over the rows of ``points``.
+
+        Phase 3 only needs the predicate ``p ≥ θ``, not the probability
+        itself; this entry point lets decision-aware integrators (the
+        cascade, the sequential sampler) spend work only until each
+        candidate's decision is certain.  Returns
+        ``(accept_mask, reject_mask, results)`` with the masks disjoint
+        boolean arrays over the candidate rows and ``results`` the
+        per-candidate estimates backing the decisions.
+
+        The default derives both masks from the full-precision estimates,
+        so for any integrator ``decide`` is exactly
+        ``qualification_probabilities`` + the ``estimate ≥ θ`` rule — the
+        engine can call it unconditionally without changing results.
+        """
+        results = self.qualification_probabilities(gaussian, points, delta)
+        accept = np.fromiter(
+            (r.meets_threshold(theta) for r in results),
+            dtype=bool,
+            count=len(results),
+        )
+        return accept, ~accept, results
+
     def fork(self, seed) -> "ProbabilityIntegrator":
         """A same-configuration copy with a fresh, independent RNG stream.
 

@@ -95,12 +95,14 @@ class ImportanceSamplingIntegrator(ProbabilityIntegrator):
         samples = gaussian.sample(self.n_samples, self._rng)
         results: list[IntegrationResult] = []
         threshold = delta**2
+        # (n_samples, m, d) would be huge; compute squared distances via
+        # the expansion ||s - o||^2 = ||s||^2 - 2 s.o + ||o||^2, with both
+        # squared-norm vectors computed once for all chunks.
+        s_sq = np.einsum("ij,ij->i", samples, samples)
+        o_sq_all = np.einsum("ij,ij->i", pts, pts)
         for start in range(0, pts.shape[0], self.chunk_size):
             block = pts[start : start + self.chunk_size]
-            # (n_samples, block, d) would be huge; compute squared distances
-            # via the expansion ||s - o||^2 = ||s||^2 - 2 s.o + ||o||^2.
-            s_sq = np.einsum("ij,ij->i", samples, samples)
-            o_sq = np.einsum("ij,ij->i", block, block)
+            o_sq = o_sq_all[start : start + self.chunk_size]
             cross = samples @ block.T
             within = (s_sq[:, None] - 2.0 * cross + o_sq[None, :]) <= threshold
             for hits in np.count_nonzero(within, axis=0):

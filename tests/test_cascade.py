@@ -1,0 +1,309 @@
+"""Deterministic Phase-3 cascade: correctness, tiering and determinism.
+
+The cascade must agree with the exact quadratic-form CDF (its own ground
+truth) and with a high-sample Monte-Carlo oracle on anisotropic Gaussians
+across dimensions, decide candidates in the advertised tiers, and — being
+RNG-free — make ``run_batch`` bit-identical across worker counts without
+drawing a single sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.strategies import make_strategies
+from repro.errors import IntegrationError
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.quadform import (
+    GaussianQuadraticForm,
+    chi2_sandwich_bounds,
+    chi2_sandwich_bounds_block,
+    qualification_probability_exact,
+    ruben_cdf,
+    ruben_series_block,
+)
+from repro.index.rtree import RStarTree
+from repro.integrate import CascadeIntegrator, ImportanceSamplingIntegrator
+
+from tests.conftest import random_spd
+from tests.test_filter_soundness import oracle_probabilities
+
+
+def anisotropic_case(dim: int, seed: int, n_points: int = 40):
+    """A random anisotropic Gaussian plus a candidate cloud spanning the
+    full probability range (reusing the soundness-suite recipe)."""
+    rng = np.random.default_rng(seed)
+    sigma = random_spd(rng, dim, scale=1.0 + 3.0 * rng.random())
+    gaussian = Gaussian(10.0 * rng.standard_normal(dim), sigma)
+    delta = float(0.5 + 2.5 * rng.random()) * np.sqrt(np.trace(sigma) / dim)
+    spread = np.sqrt(gaussian.eigenvalues.max())
+    radii = (4.0 * rng.random(n_points)) * (spread + delta)
+    directions = rng.standard_normal((n_points, dim))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    points = gaussian.mean + radii[:, None] * directions
+    return gaussian, points, delta
+
+
+class TestVectorisedQuadform:
+    def test_block_sandwich_matches_scalar(self):
+        gaussian, points, delta = anisotropic_case(3, seed=5)
+        block = chi2_sandwich_bounds_block(gaussian, points, delta)
+        assert block.shape == (points.shape[0], 2)
+        for row, point in zip(block, points):
+            form = GaussianQuadraticForm.squared_distance(gaussian, point)
+            lower, upper = chi2_sandwich_bounds(form, delta * delta)
+            assert row[0] == pytest.approx(lower, abs=1e-14)
+            assert row[1] == pytest.approx(upper, abs=1e-14)
+
+    def test_block_sandwich_zero_delta(self):
+        gaussian, points, _ = anisotropic_case(2, seed=6)
+        assert np.all(chi2_sandwich_bounds_block(gaussian, points, 0.0) == 0.0)
+
+    @pytest.mark.parametrize("dim", [2, 3, 9])
+    def test_ruben_block_matches_scalar(self, dim):
+        gaussian, points, delta = anisotropic_case(dim, seed=dim)
+        weights, ncs = GaussianQuadraticForm.squared_distance_spectrum(
+            gaussian, points
+        )
+        lower, upper, ok = ruben_series_block(
+            weights, np.ones_like(weights), ncs, delta * delta, tol=1e-12
+        )
+        for i, point in enumerate(points):
+            if not ok[i]:
+                continue
+            form = GaussianQuadraticForm.squared_distance(gaussian, point)
+            try:
+                expected = ruben_cdf(form, delta * delta)
+            except IntegrationError:
+                pytest.fail("scalar Ruben failed where the block path ran")
+            assert upper[i] - lower[i] < 1e-10
+            assert lower[i] - 1e-10 <= expected <= upper[i] + 1e-10
+
+    def test_ruben_block_flags_underflow(self):
+        # Extreme noncentrality: scalar Ruben raises, the block path must
+        # flag the row instead of dying.
+        gaussian = Gaussian([0.0, 0.0], np.eye(2))
+        points = np.array([[0.5, 0.0], [80.0, 0.0]])
+        weights, ncs = GaussianQuadraticForm.squared_distance_spectrum(
+            gaussian, points
+        )
+        lower, upper, ok = ruben_series_block(
+            weights, np.ones(2), ncs, 4.0
+        )
+        assert ok[0] and not ok[1]
+        assert lower[1] == 0.0 and upper[1] == 1.0  # untouched bounds
+
+    def test_decision_aware_truncation_agrees_with_converged(self):
+        gaussian, points, delta = anisotropic_case(2, seed=9)
+        weights, ncs = GaussianQuadraticForm.squared_distance_spectrum(
+            gaussian, points
+        )
+        tight = ruben_series_block(
+            weights, np.ones_like(weights), ncs, delta * delta, tol=1e-12
+        )
+        theta = 0.2
+        fast = ruben_series_block(
+            weights, np.ones_like(weights), ncs, delta * delta, theta=theta
+        )
+        exact = 0.5 * (tight[0] + tight[1])
+        for i in range(points.shape[0]):
+            if not (tight[2][i] and fast[2][i]):
+                continue
+            decided_accept = fast[0][i] >= theta
+            decided_reject = fast[1][i] < theta
+            assert decided_accept or decided_reject or (
+                fast[1][i] - fast[0][i] < 1e-12
+            )
+            if decided_accept:
+                assert exact[i] >= theta - 1e-9
+            if decided_reject:
+                assert exact[i] < theta + 1e-9
+
+
+class TestCascadeAgreement:
+    @pytest.mark.parametrize("dim", [2, 3, 9])
+    def test_cascade_vs_exact_vs_monte_carlo(self, dim):
+        gaussian, points, delta = anisotropic_case(dim, seed=40 + dim)
+        cascade = CascadeIntegrator()
+        results = cascade.qualification_probabilities(gaussian, points, delta)
+        estimates = np.array([r.estimate for r in results])
+        # Exact scalar ground truth (Imhof / Ruben with fallback).
+        exact = np.array([
+            qualification_probability_exact(gaussian, p, delta)
+            for p in points
+        ])
+        np.testing.assert_allclose(estimates, exact, atol=1e-6)
+        # Monte-Carlo oracle agreement within its own sampling noise (the
+        # rule-of-three slack covers tail probabilities the oracle's
+        # finite sample cannot resolve: stderr is 0 at zero observed hits).
+        oracle, stderr = oracle_probabilities(
+            gaussian, points, delta, seed=77 + dim
+        )
+        assert np.all(np.abs(estimates - oracle) <= 5.0 * stderr + 1e-5)
+        assert all(r.n_samples == 0 for r in results)
+
+    def test_decide_matches_exact_threshold_rule(self):
+        gaussian, points, delta = anisotropic_case(3, seed=21)
+        theta = 0.15
+        cascade = CascadeIntegrator()
+        accept, reject, results = cascade.decide(
+            gaussian, points, delta, theta
+        )
+        assert accept.shape == reject.shape == (points.shape[0],)
+        assert not np.any(accept & reject)
+        assert np.all(accept | reject)  # the cascade decides everything
+        exact = np.array([
+            qualification_probability_exact(gaussian, p, delta)
+            for p in points
+        ])
+        np.testing.assert_array_equal(accept, exact >= theta)
+        # Reported estimates must back the decision under estimate >= θ.
+        for est, acc in zip(results, accept):
+            assert est.meets_threshold(theta) == acc
+
+    def test_empty_block(self):
+        gaussian = Gaussian([0.0, 0.0], np.eye(2))
+        accept, reject, results = CascadeIntegrator().decide(
+            gaussian, np.empty((0, 2)), 1.0, 0.1
+        )
+        assert accept.size == 0 and reject.size == 0 and results == []
+
+    def test_scalar_entry_point(self, paper_gaussian):
+        cascade = CascadeIntegrator()
+        point = np.array([510.0, 490.0])
+        got = cascade.qualification_probability(paper_gaussian, point, 25.0)
+        expected = qualification_probability_exact(paper_gaussian, point, 25.0)
+        assert got.estimate == pytest.approx(expected, abs=1e-6)
+        assert got.n_samples == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(IntegrationError):
+            CascadeIntegrator(tol=0.0)
+        with pytest.raises(IntegrationError):
+            CascadeIntegrator(max_terms=0)
+        with pytest.raises(IntegrationError):
+            CascadeIntegrator().decide(
+                Gaussian([0.0, 0.0], np.eye(2)),
+                np.zeros((1, 2)),
+                -1.0,
+                0.1,
+            )
+
+
+class TestTiering:
+    def test_tier_labels_partition_the_block(self):
+        gaussian, points, delta = anisotropic_case(2, seed=33, n_points=120)
+        _, _, results = CascadeIntegrator().decide(
+            gaussian, points, delta, 0.05
+        )
+        methods = {r.method for r in results}
+        assert methods <= {
+            "cascade-sandwich", "cascade-ruben", "cascade-imhof"
+        }
+        counts = {m: sum(r.method == m for r in results) for m in methods}
+        assert sum(counts.values()) == points.shape[0]
+        # The cloud spans deep-inside to far-outside candidates, so the
+        # cheap sandwich tier must decide a non-trivial share.
+        assert counts.get("cascade-sandwich", 0) > 0
+
+    def test_far_candidates_decided_by_sandwich_alone(self, paper_gaussian):
+        far = paper_gaussian.mean + np.array([[5000.0, 0.0], [0.0, 7000.0]])
+        accept, reject, results = CascadeIntegrator().decide(
+            paper_gaussian, far, 25.0, 0.01
+        )
+        assert np.all(reject)
+        assert all(r.method == "cascade-sandwich" for r in results)
+
+    def test_underflow_candidates_reach_imhof(self):
+        # Anisotropic covariance (isotropic ones make the sandwich bounds
+        # exact) with huge noncentrality and a ball past the mean: the
+        # sandwich stays wide, Ruben underflows, only Imhof can settle it.
+        gaussian = Gaussian([0.0, 0.0], np.diag([1.0, 4.0]))
+        points = np.array([[40.0, 0.0]])
+        accept, _, results = CascadeIntegrator().decide(
+            gaussian, points, 42.0, 0.5
+        )
+        assert results[0].method == "cascade-imhof"
+        assert accept[0]  # exact probability is > 0.5 here
+        expected = qualification_probability_exact(
+            gaussian, points[0], 42.0, method="imhof"
+        )
+        assert results[0].estimate == pytest.approx(expected, abs=1e-9)
+
+    def test_engine_records_tier_decisions(self):
+        rng = np.random.default_rng(8)
+        pts = rng.random((3000, 2)) * 100.0
+        index = RStarTree(2)
+        index.bulk_load(list(range(len(pts))), pts)
+        # RR+OR only reject, so every surviving candidate reaches Phase 3.
+        engine = QueryEngine(
+            index, make_strategies("rr+or"), CascadeIntegrator()
+        )
+        query = ProbabilisticRangeQuery(
+            Gaussian([50.0, 50.0], 40.0 * np.eye(2)), 8.0, 0.02
+        )
+        result = engine.execute(query)
+        assert result.stats.integrations > 0
+        assert (
+            sum(result.stats.tier_decisions.values())
+            == result.stats.integrations
+        )
+        assert result.stats.integration_samples == 0
+
+
+class TestDecideDefault:
+    def test_base_class_decide_equals_threshold_rule(self, paper_gaussian):
+        pts = paper_gaussian.mean + np.array(
+            [[0.0, 0.0], [15.0, -10.0], [60.0, 40.0], [200.0, 0.0]]
+        )
+        theta = 0.05
+        a = ImportanceSamplingIntegrator(4_000, seed=3, share_samples=True)
+        b = ImportanceSamplingIntegrator(4_000, seed=3, share_samples=True)
+        accept, reject, results = a.decide(paper_gaussian, pts, 25.0, theta)
+        reference = b.qualification_probabilities(paper_gaussian, pts, 25.0)
+        assert [r.estimate for r in results] == [
+            r.estimate for r in reference
+        ]
+        np.testing.assert_array_equal(
+            accept, [r.meets_threshold(theta) for r in reference]
+        )
+        np.testing.assert_array_equal(accept, ~reject)
+
+
+class TestBatchDeterminism:
+    def test_run_batch_bit_identical_and_sampling_free(self):
+        rng = np.random.default_rng(17)
+        pts = rng.random((4000, 2)) * 100.0
+        index = RStarTree(2)
+        index.bulk_load(list(range(len(pts))), pts)
+        engine = QueryEngine(
+            index, make_strategies("rr+or"), CascadeIntegrator()
+        )
+        queries = [
+            ProbabilisticRangeQuery(
+                Gaussian(center, variance * np.eye(2)), delta, theta
+            )
+            for center, variance, delta, theta in (
+                ([30.0, 40.0], 30.0, 7.0, 0.02),
+                ([55.0, 60.0], 60.0, 10.0, 0.05),
+                ([80.0, 20.0], 15.0, 5.0, 0.10),
+                ([10.0, 90.0], 45.0, 9.0, 0.01),
+            )
+        ]
+        reference = engine.run_batch(queries, workers=1)
+        assert reference.stats.integration_samples == 0
+        assert reference.stats.integrations > 0
+        for workers in (2, 4):
+            again = engine.run_batch(queries, workers=workers)
+            assert again.ids == reference.ids
+            assert again.stats.integration_samples == 0
+            assert (
+                again.stats.tier_decisions == reference.stats.tier_decisions
+            )
+        # Different base seeds change nothing either: the cascade is
+        # RNG-free end to end.
+        reseeded = engine.run_batch(queries, workers=3, base_seed=999)
+        assert reseeded.ids == reference.ids
