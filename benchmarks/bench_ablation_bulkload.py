@@ -14,7 +14,7 @@ import time
 import numpy as np
 from conftest import report
 
-from repro.bench.harness import ExperimentTable, load_road_database, paper_sigma
+from repro.bench.harness import ExperimentTable, load_road_database
 from repro.geometry.mbr import Rect
 from repro.index.rtree import RStarTree
 

@@ -157,6 +157,100 @@ def test_cascade_speedup(benchmark):
     )
 
 
+def test_planner_vs_fixed(benchmark):
+    """Cost-based planner ('auto') vs every fixed strategy combination.
+
+    The acceptance bar for ``strategy="auto"`` on a mixed road workload:
+
+    - total time within 1.1x of the *per-query best* fixed strategy — an
+      oracle that picks the fastest fixed combination for every query
+      individually, so it pays no planning cost at all;
+    - at least 1.5x faster than the *worst* fixed strategy — the cost a
+      user pays for hard-coding the wrong combination.
+
+    The workload uses a quantized delta/theta menu (the production shape),
+    so the LRU plan cache absorbs most planning work after the first
+    occurrence of each query shape.
+    """
+
+    def run():
+        db = load_road_database()
+        generator = WorkloadGenerator(db, seed=13, quantize=4)
+        queries = generator.batch(40)
+        integrator = ImportanceSamplingIntegrator(bench_samples(), seed=1)
+
+        fixed = {}
+        for spec in ("rr", "rr+bf", "rr+or", "bf+or", "all"):
+            fixed[spec] = run_workload(
+                db, queries, strategies=spec, integrator=integrator
+            )
+        auto = run_workload(
+            db, queries, strategies="auto", integrator=integrator
+        )
+
+        per_query_best = sum(
+            min(rep.latencies[i] for rep in fixed.values())
+            for i in range(len(queries))
+        )
+        worst_spec = max(fixed, key=lambda s: fixed[s].total_seconds)
+
+        table = ExperimentTable(
+            f"Workload — {len(queries)} mixed queries, fixed strategies vs "
+            "cost-based planner",
+            ["strategies", "total s", "p95 ms", "mean integrations"],
+        )
+        for spec, rep in list(fixed.items()) + [("auto", auto)]:
+            table.add_row(
+                spec,
+                rep.total_seconds,
+                rep.percentile(95) * 1e3,
+                float(sum(rep.integrations)) / len(rep.integrations),
+            )
+        cache_hits = sum(p["cache_hit"] for p in auto.plans)
+        table.note(
+            f"per-query-best oracle: {per_query_best:.3f}s; "
+            f"plan cache hits: {cache_hits}/{len(auto.plans)}"
+        )
+        return table, fixed, auto, per_query_best, worst_spec
+
+    table, fixed, auto, per_query_best, worst_spec = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report("workload_planner", table.render())
+
+    chosen_counts: dict[str, int] = {}
+    for plan in auto.plans:
+        key = plan["strategies"]
+        chosen_counts[key] = chosen_counts.get(key, 0) + 1
+    report_json(
+        "workload_planner",
+        {
+            "totals_seconds": {
+                spec: rep.total_seconds for spec, rep in fixed.items()
+            }
+            | {"auto": auto.total_seconds},
+            "per_query_best_seconds": per_query_best,
+            "worst_fixed": worst_spec,
+            "plan_cache_hits": sum(p["cache_hit"] for p in auto.plans),
+            "plans_chosen": chosen_counts,
+            "plans": auto.plans,
+        },
+    )
+
+    assert len(auto.plans) == len(auto.latencies), (
+        "planner decisions missing from the workload report"
+    )
+    assert auto.total_seconds <= 1.1 * per_query_best, (
+        f"auto {auto.total_seconds:.3f}s exceeds 1.1x the per-query-best "
+        f"oracle {per_query_best:.3f}s"
+    )
+    worst_total = fixed[worst_spec].total_seconds
+    assert worst_total >= 1.5 * auto.total_seconds, (
+        f"auto {auto.total_seconds:.3f}s is not 1.5x faster than the worst "
+        f"fixed strategy {worst_spec} ({worst_total:.3f}s)"
+    )
+
+
 def test_batch_speedup(benchmark):
     """run_batch(workers=4) vs the sequential per-query loop.
 

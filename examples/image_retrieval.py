@@ -13,8 +13,6 @@ Run:  python examples/image_retrieval.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import ImportanceSamplingIntegrator, ProbabilisticRangeQuery, SpatialDatabase
 from repro.bench.experiments import SPEC_ORDER, pseudo_feedback_gaussian
 from repro.datasets import color_moments_like

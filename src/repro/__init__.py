@@ -27,7 +27,9 @@ from repro.core import (
     BatchResult,
     BatchStats,
     MixtureQueryEngine,
+    PlannerCostModel,
     QueryPlan,
+    QueryPlanner,
     mixture_range_query,
     threshold_sweep,
     MonitoringSession,
@@ -95,6 +97,8 @@ __all__ = [
     "mixture_range_query",
     "threshold_sweep",
     "QueryPlan",
+    "QueryPlanner",
+    "PlannerCostModel",
     "RStarTree",
     "GridIndex",
     "LinearScanIndex",

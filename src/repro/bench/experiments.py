@@ -38,7 +38,6 @@ from repro.core.strategies import (
     BoundingFunctionStrategy,
     ObliqueStrategy,
     RectilinearStrategy,
-    STRATEGY_COMBINATIONS,
     make_strategies,
 )
 from repro.gaussian.distribution import Gaussian

@@ -130,6 +130,10 @@ class WorkloadReport:
     #: per-tier breakdown), summed over the batch.
     tier_decisions: dict[str, int] = field(default_factory=dict)
     phase_totals: dict[str, float] = field(default_factory=dict)
+    #: Per-query planner decisions (input order): strategy combo chosen,
+    #: phase-1 mode, plan-cache hit, and predicted vs actual Phase-3
+    #: candidate counts.  Empty when the engine has no planner attached.
+    plans: list[dict] = field(default_factory=list)
     #: End-to-end batch wall time; None on the legacy per-query path,
     #: where per-query latencies are the only timing available.
     wall_seconds: float | None = None
@@ -172,6 +176,22 @@ class WorkloadReport:
             share = 100.0 * seconds / total_phase if total_phase else 0.0
             table.add_row(f"phase {phase} share (%)", share)
         return table
+
+
+def _record_plan(report: WorkloadReport, stats) -> None:
+    """Append one query's planner decision to the report, if planned."""
+    if stats.plan_strategies is None:
+        return
+    report.plans.append(
+        {
+            "strategies": "+".join(stats.plan_strategies),
+            "phase1": stats.plan_phase1,
+            "cache_hit": bool(stats.plan_cache_hit),
+            "predicted_phase3": stats.predicted_integrations,
+            "actual_phase3": stats.integrations,
+            "predicted_seconds": stats.predicted_seconds,
+        }
+    )
 
 
 def run_workload(
@@ -218,6 +238,7 @@ def run_workload(
             report.integrations.append(result.stats.integrations)
             report.answers.append(len(result))
             report.result_ids.append(result.ids)
+            _record_plan(report, result.stats)
         report.phase_totals = dict(batch.stats.phase_seconds)
         report.tier_decisions = dict(batch.stats.tier_decisions)
         return report
@@ -232,6 +253,7 @@ def run_workload(
         report.integrations.append(result.stats.integrations)
         report.answers.append(len(result))
         report.result_ids.append(result.ids)
+        _record_plan(report, result.stats)
         for method, count in result.stats.tier_decisions.items():
             report.tier_decisions[method] = (
                 report.tier_decisions.get(method, 0) + count

@@ -19,7 +19,7 @@ paper tabulates the integrals.  Catalogs serialize to JSON via
 """
 
 from repro.catalog.rtheta import RThetaCatalog, RThetaLookup, ExactRThetaLookup
-from repro.catalog.bf import BFCatalog, BFLookup, ExactBFLookup
+from repro.catalog.bf import BFCatalog, BFLookup, ExactBFLookup, alpha_radii
 from repro.catalog.io import load_catalog, save_catalog
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "BFCatalog",
     "BFLookup",
     "ExactBFLookup",
+    "alpha_radii",
     "load_catalog",
     "save_catalog",
 ]

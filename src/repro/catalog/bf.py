@@ -30,7 +30,7 @@ import numpy as np
 from repro.errors import CatalogError
 from repro.gaussian import radial
 
-__all__ = ["BFLookup", "ExactBFLookup", "BFCatalog"]
+__all__ = ["BFLookup", "ExactBFLookup", "BFCatalog", "alpha_radii"]
 
 
 #: LRU size for memoized exact α lookups.  Each α is a brentq root-find
@@ -245,3 +245,51 @@ class BFCatalog(BFLookup):
                 "no (delta, theta) grid point admits an alpha; grid too extreme"
             )
         return cls(dim, rows_d, rows_t, rows_a)
+
+
+def alpha_radii(
+    gaussian, delta: float, theta: float, lookup: BFLookup | None = None
+) -> tuple[float | None, float | None]:
+    """The BF radii (α∥, α⊥) of PRQ(gaussian, δ, θ) in world units.
+
+    Implements the paper's Eqs. 29–31 rescaling: the normalized-Gaussian
+    table is queried at (√λ·δ, λ^{d/2}·√|Σ|·θ) and the resulting offset
+    scaled back by 1/√λ, with λ = λ∥ (largest precision eigenvalue) for
+    the pruning radius and λ = λ⊥ (smallest) for the acceptance radius.
+
+    Returns ``(alpha_upper, alpha_lower)``:
+
+    - ``alpha_upper is None`` — the result set is provably empty (even
+      the upper bounding function cannot reach mass θ anywhere);
+    - ``alpha_lower is None`` — no inner free-accept hole exists (the
+      ill-shaped high-dimensional case of Section VI).
+
+    Shared by :class:`repro.core.strategies.BoundingFunctionStrategy`
+    and the query planner's plan explanations, so the radii reported by
+    ``repro explain`` are exactly the radii the filter executes with.
+    """
+    import math
+
+    lookup = lookup or ExactBFLookup(gaussian.dim)
+    if lookup.dim != gaussian.dim:
+        raise CatalogError(
+            f"BF lookup is for dimension {lookup.dim}, query has {gaussian.dim}"
+        )
+    sqrt_det = math.exp(0.5 * gaussian.log_det_sigma)
+    dim = gaussian.dim
+
+    def scaled_alpha(lam: float, kind: str) -> float | None:
+        scaled_theta = lam ** (dim / 2.0) * sqrt_det * theta
+        if scaled_theta >= 1.0:
+            # A probability can never reach a scaled theta >= 1: for the
+            # upper bound this proves the result empty, for the lower
+            # bound it means no inner hole exists (Eq. 37 > 1).
+            return None
+        query = lookup.alpha_upper if kind == "upper" else lookup.alpha_lower
+        beta = query(math.sqrt(lam) * delta, scaled_theta)
+        return None if beta is None else beta / math.sqrt(lam)
+
+    return (
+        scaled_alpha(gaussian.lam_parallel, "upper"),
+        scaled_alpha(gaussian.lam_perp, "lower"),
+    )

@@ -9,6 +9,10 @@ Commands
 ``query``
     Run one PRQ against a saved database (``.npz`` from
     :meth:`SpatialDatabase.save`) or a freshly generated dataset.
+``explain``
+    Print the query plan — strategy regions, BF radii, predicted phase-3
+    candidates and (with ``--strategies auto``) the cost-based planner's
+    full plan comparison — without running Phase 3.
 ``catalog``
     Build an r_θ or BF U-catalog and write it to JSON.
 ``dataset``
@@ -55,7 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="isotropic covariance scale (variance)")
     query.add_argument("--delta", type=float, default=None)
     query.add_argument("--theta", type=float, default=None)
-    query.add_argument("--strategies", default="all")
+    query.add_argument("--strategies", default="all",
+                       help="strategy spec (rr, bf, rr+bf, rr+or, bf+or, "
+                       "all, em, em+bf) or 'auto' for cost-based planning")
     query.add_argument("--integrator", default=None,
                        choices=["importance", "sequential", "exact", "cascade"],
                        help="Phase-3 evaluator: the paper's fixed-budget "
@@ -76,6 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=0,
                        help="base seed for the per-query RNG streams of "
                        "--batch execution")
+
+    explain = commands.add_parser(
+        "explain", help="show the query plan without integrating"
+    )
+    explain.add_argument("database", help=".npz file from SpatialDatabase.save")
+    explain.add_argument("--center", type=float, nargs="+", required=True)
+    explain.add_argument("--sigma-scale", type=float, default=1.0,
+                         help="isotropic covariance scale (variance)")
+    explain.add_argument("--delta", type=float, required=True)
+    explain.add_argument("--theta", type=float, required=True)
+    explain.add_argument("--strategies", default="auto",
+                         help="strategy spec or 'auto' for the cost-based "
+                         "planner (default: auto)")
+    explain.add_argument("--integrator", default=None,
+                         choices=["importance", "sequential", "exact",
+                                  "cascade"],
+                         help="Phase-3 evaluator assumed by the cost model")
+    explain.add_argument("--seed", type=int, default=0)
 
     catalog = commands.add_parser("catalog", help="build a U-catalog")
     catalog.add_argument("kind", choices=["rtheta", "bf"])
@@ -270,6 +294,34 @@ def _run_query_batch(db, args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    from repro import Gaussian, SpatialDatabase
+    from repro.core.query import ProbabilisticRangeQuery
+
+    db = SpatialDatabase.load(args.database)
+    center = np.asarray(args.center, dtype=float)
+    if center.size != db.dim:
+        print(f"error: database is {db.dim}-dimensional, got "
+              f"{center.size} center coordinates", file=sys.stderr)
+        return 2
+    query = ProbabilisticRangeQuery(
+        Gaussian(center, args.sigma_scale * np.eye(db.dim)),
+        args.delta, args.theta,
+    )
+    integrator = _make_integrator(args.integrator, args.theta, args.seed)
+    engine = db.engine(strategies=args.strategies, integrator=integrator)
+    estimator = None
+    if db.dim <= 3:
+        from repro.core.selectivity import SelectivityEstimator
+
+        object_ids = db.index.ids()
+        estimator = SelectivityEstimator(
+            np.vstack([db.index.get(i) for i in object_ids])
+        )
+    print(engine.explain(query, estimator=estimator).render())
+    return 0
+
+
 def _cmd_catalog(args) -> int:
     from repro.catalog import BFCatalog, RThetaCatalog, save_catalog
 
@@ -388,6 +440,7 @@ def _cmd_figures(args) -> int:
 _COMMANDS = {
     "demo": _cmd_demo,
     "query": _cmd_query,
+    "explain": _cmd_explain,
     "catalog": _cmd_catalog,
     "dataset": _cmd_dataset,
     "experiment": _cmd_experiment,

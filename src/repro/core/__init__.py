@@ -27,6 +27,12 @@ from repro.core.strategies import (
     make_strategies,
 )
 from repro.core.engine import BatchResult, QueryEngine, QueryPlan, QueryResult
+from repro.core.planner import (
+    PlanChoice,
+    PlanDecision,
+    PlannerCostModel,
+    QueryPlanner,
+)
 from repro.core.mixture import MixtureQueryEngine, mixture_range_query
 from repro.core.database import SpatialDatabase
 from repro.core.monitor import MonitoringSession
@@ -53,6 +59,10 @@ __all__ = [
     "UNKNOWN",
     "QueryEngine",
     "QueryPlan",
+    "QueryPlanner",
+    "PlannerCostModel",
+    "PlanChoice",
+    "PlanDecision",
     "MixtureQueryEngine",
     "mixture_range_query",
     "QueryResult",

@@ -20,8 +20,11 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.engine import QueryEngine, QueryResult
+from repro.core.planner import QueryPlanner
 from repro.core.query import ProbabilisticRangeQuery
+from repro.core.selectivity import SelectivityEstimator
 from repro.core.strategies import Strategy, make_strategies
+from repro.geometry.mbr import Rect
 from repro.errors import QueryError
 from repro.gaussian.distribution import Gaussian
 from repro.index.base import SpatialIndex
@@ -71,6 +74,7 @@ class SpatialDatabase:
                 f"dimension {pts.shape[1]}"
             )
         self._index.bulk_load(id_list, pts)
+        self._default_planner: QueryPlanner | None = None
 
     @property
     def index(self) -> SpatialIndex:
@@ -118,7 +122,8 @@ class SpatialDatabase:
 
         Either pass a ready :class:`Gaussian` or ``center=``/``sigma=``.
         ``strategies`` is a spec string (``"rr"``, ``"bf"``, ``"rr+bf"``,
-        ``"rr+or"``, ``"bf+or"``, ``"all"``) or an explicit strategy list.
+        ``"rr+or"``, ``"bf+or"``, ``"all"``), the adaptive ``"auto"``
+        (cost-based planning per query), or an explicit strategy list.
         """
         if gaussian is None:
             if center is None or sigma is None:
@@ -141,13 +146,54 @@ class SpatialDatabase:
 
         ``phase1="primary"`` reproduces the paper's Algorithms 1/2 exactly:
         only the first strategy's rectangle drives the index search.
+        ``strategies="auto"`` attaches the database's shared
+        :class:`QueryPlanner` so every query runs the cheapest plan under
+        the planner's cost model (the "all" list remains as the fallback
+        for the helper entry points).
         """
-        strategy_list = (
-            make_strategies(strategies)
-            if isinstance(strategies, str)
-            else list(strategies)
+        planner = None
+        if isinstance(strategies, str) and strategies.lower() == "auto":
+            planner = self.planner()
+            strategy_list = make_strategies("all")
+        else:
+            strategy_list = (
+                make_strategies(strategies)
+                if isinstance(strategies, str)
+                else list(strategies)
+            )
+        return QueryEngine(
+            self._index,
+            strategy_list,
+            integrator,
+            phase1=phase1,
+            planner=planner,
         )
-        return QueryEngine(self._index, strategy_list, integrator, phase1=phase1)
+
+    def planner(self, **kwargs) -> QueryPlanner:
+        """The database's shared cost-based query planner.
+
+        Built lazily on first use (a d ≤ 3 database also gets a
+        :class:`SelectivityEstimator` over its points; higher dimensions
+        fall back to uniform-density predictions) and cached so the plan
+        cache warms across engines.  Keyword arguments are forwarded to
+        :class:`QueryPlanner` and force a fresh, *uncached* planner —
+        useful for custom cost models or strategy menus.
+        """
+        if kwargs:
+            return self._build_planner(**kwargs)
+        if self._default_planner is None:
+            self._default_planner = self._build_planner()
+        return self._default_planner
+
+    def _build_planner(self, **kwargs) -> QueryPlanner:
+        object_ids = self._index.ids()
+        points = np.vstack([self._index.get(i) for i in object_ids])
+        bounds = Rect(points.min(axis=0), points.max(axis=0))
+        if "estimator" not in kwargs and self.dim <= 3:
+            kwargs["estimator"] = SelectivityEstimator(points)
+        kwargs.setdefault("total_points", len(object_ids))
+        kwargs.setdefault("data_bounds", bounds)
+        return QueryPlanner(**kwargs)
 
     def top_k_by_probability(
         self,

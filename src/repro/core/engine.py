@@ -8,8 +8,20 @@ to the result without integration.  Phase 3 (probability computation)
 evaluates the remaining candidates with the configured integrator and
 keeps those with estimate >= θ.
 
+The phases themselves live in :mod:`repro.core.stages` as composable
+stage objects (`SearchStage`, `FilterStage`, `IntegrateStage`); every
+engine entry point — :meth:`QueryEngine.execute`, :meth:`QueryEngine.run`
+and :meth:`QueryEngine.run_batch` — builds a pipeline and hands it to the
+single shared driver :func:`repro.core.stages.execute_pipeline`, so the
+single-query and batch paths cannot drift apart.
+
 The engine is strategy-agnostic: the paper's six configurations are just
 different strategy lists (see :func:`repro.core.strategies.make_strategies`).
+With a :class:`repro.core.planner.QueryPlanner` attached (the
+``strategy="auto"`` path), the engine instead plans each query
+individually: the planner scores every candidate (strategy combo ×
+phase-1 mode × integrator) on its cost model and the engine executes the
+cheapest plan, recording predictions into :class:`QueryStats`.
 
 Beyond single-query :meth:`QueryEngine.execute`, the engine offers a
 batched path — :meth:`QueryEngine.run` (sequential) and
@@ -18,7 +30,9 @@ gets its own strategy clones and a forked integrator seeded from one
 spawned :class:`numpy.random.SeedSequence`.  Results therefore depend
 only on (seed, query position), never on worker count or completion
 order: ``run_batch(queries, workers=k)`` is bit-identical to
-``run(queries)`` for every ``k``.
+``run(queries)`` for every ``k`` — with or without a planner (plans are a
+pure function of the quantized query shape, so a cold plan cache and a
+warm one produce identical result sets).
 """
 
 from __future__ import annotations
@@ -27,20 +41,30 @@ import functools
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.core.query import ProbabilisticRangeQuery
+from repro.core.stages import (
+    FilterStage,
+    IntegrateStage,
+    SearchStage,
+    StageContext,
+    execute_pipeline,
+)
 from repro.core.stats import BatchStats, QueryStats
-from repro.core.strategies import ACCEPT, REJECT, Strategy
+from repro.core.strategies import Strategy
 from repro.errors import QueryError
 from repro.geometry.mbr import Rect
 from repro.index.base import SpatialIndex
 from repro.integrate.base import ProbabilityIntegrator
 from repro.integrate.importance import ImportanceSamplingIntegrator
 
-__all__ = ["QueryEngine", "QueryResult", "BatchResult"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.planner import PlanChoice, QueryPlanner
+
+__all__ = ["QueryEngine", "QueryResult", "BatchResult", "QueryPlan"]
 
 #: Signature of the optional per-query integrator factory accepted by
 #: ``run``/``run_batch``: (query, spawned seed sequence) -> integrator.
@@ -93,25 +117,85 @@ class BatchResult:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """The output of :meth:`QueryEngine.explain`."""
+    """The output of :meth:`QueryEngine.explain` — an explainable plan.
+
+    Beyond the strategy descriptions and Phase-1 rectangle, a planned
+    (``strategy="auto"``) engine attaches the full cost-model comparison:
+    every candidate plan the planner scored, with predicted candidate
+    counts and predicted cost, cheapest first.
+    """
 
     strategies: tuple[str, ...]
     descriptions: tuple[str, ...]
     search_rect: Rect | None
     proves_empty: str | None
     predicted_candidates: float | None
+    #: Phase-1 policy the plan executes with.
+    phase1: str = "intersect"
+    #: BF pruning radius α∥ (None = result proven empty or BF inactive).
+    alpha_upper: float | None = None
+    #: BF free-accept radius α⊥ (None = no inner hole or BF inactive).
+    alpha_lower: float | None = None
+    #: Cost-model prediction for the whole query, seconds.
+    predicted_seconds: float | None = None
+    #: Every plan the planner considered, cheapest first (empty when the
+    #: engine runs a fixed strategy list).
+    comparison: tuple["PlanChoice", ...] = ()
+    #: True when a cost-based planner chose this plan.
+    planned: bool = False
+
+    def summary(self) -> str:
+        """One-line digest: strategies, phase-1 mode, BF radii, predictions.
+
+        When BF is active the α∥/α⊥ radii are included so the output is
+        directly actionable (they are the exact prune/free-accept
+        distances the filter will apply).
+        """
+        parts = [
+            f"strategies={'+'.join(self.strategies)}",
+            f"phase1={self.phase1}",
+        ]
+        if "BF" in self.strategies:
+            upper = "-" if self.alpha_upper is None else f"{self.alpha_upper:.3f}"
+            lower = "-" if self.alpha_lower is None else f"{self.alpha_lower:.3f}"
+            parts.append(f"alpha_par={upper}")
+            parts.append(f"alpha_perp={lower}")
+        if self.proves_empty:
+            parts.append(f"empty_by={self.proves_empty}")
+        if self.predicted_candidates is not None:
+            parts.append(f"predicted_phase3={self.predicted_candidates:.1f}")
+        if self.predicted_seconds is not None:
+            parts.append(f"predicted_ms={self.predicted_seconds * 1e3:.2f}")
+        return " ".join(parts)
 
     def render(self) -> str:
         lines = [f"strategies: {' + '.join(self.strategies)}"]
+        if self.planned:
+            lines[0] += "  (chosen by cost-based planner)"
         lines.extend(f"  {text}" for text in self.descriptions)
         if self.proves_empty:
             lines.append(f"result proven empty by {self.proves_empty}")
         elif self.search_rect is not None:
             lines.append(f"phase-1 search rectangle: {self.search_rect!r}")
+        lines.append(f"plan: {self.summary()}")
         if self.predicted_candidates is not None:
             lines.append(
                 f"predicted phase-3 candidates: {self.predicted_candidates:.1f}"
             )
+        if self.comparison:
+            lines.append("plans considered (cost model, cheapest first):")
+            lines.append(
+                f"    {'strategies':<12} {'phase1':<10} "
+                f"{'retrieved':>9} {'phase3':>7} {'cost ms':>8}"
+            )
+            for choice in self.comparison:
+                marker = "  * " if choice is self.comparison[0] else "    "
+                lines.append(
+                    f"{marker}{choice.strategies:<12} {choice.phase1:<10} "
+                    f"{choice.predicted_retrieved:>9.1f} "
+                    f"{choice.predicted_candidates:>7.1f} "
+                    f"{choice.predicted_seconds * 1e3:>8.2f}"
+                )
         return "\n".join(lines)
 
 
@@ -124,10 +208,18 @@ class QueryEngine:
         Any :class:`repro.index.SpatialIndex` holding the target objects.
     strategies:
         Filtering strategies to combine; must be non-empty (the strategies
-        also supply the Phase-1 search region).
+        also supply the Phase-1 search region).  With a ``planner`` these
+        act as the fallback list for the helper entry points
+        (:meth:`prepare_search`, :meth:`filter_and_integrate`).
     integrator:
         Phase-3 probability evaluator; defaults to the paper's importance
         sampling with 100,000 samples.
+    planner:
+        Optional :class:`repro.core.planner.QueryPlanner`.  When present,
+        every executed query is planned individually — the planner picks
+        the cheapest (strategy combo × phase-1 mode × integrator) under
+        its cost model — and the predictions are recorded in the query's
+        :class:`QueryStats`.
     """
 
     def __init__(
@@ -137,6 +229,7 @@ class QueryEngine:
         integrator: ProbabilityIntegrator | None = None,
         *,
         phase1: str = "intersect",
+        planner: "QueryPlanner | None" = None,
     ):
         if not strategies:
             raise QueryError("at least one strategy is required")
@@ -152,6 +245,7 @@ class QueryEngine:
         #: strategy's rectangle, exactly as the paper's Algorithms 1 and 2
         #: do (the remaining strategies act purely as Phase-2 filters).
         self.phase1 = phase1
+        self.planner = planner
 
     def execute(self, query: ProbabilisticRangeQuery) -> QueryResult:
         return self._execute_with(query, self.strategies, self.integrator)
@@ -197,7 +291,9 @@ class QueryEngine:
         strategy clones and a seed spawned by position, the results are
         bit-identical for every ``workers`` value (and to :meth:`run`).
         The engine instance itself is never mutated, so one engine can
-        serve many concurrent ``run_batch`` calls.
+        serve many concurrent ``run_batch`` calls.  With a planner, plan
+        choices depend only on each query's own quantized shape — never on
+        batch order or cache warmth — so the contract still holds.
         """
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -211,7 +307,7 @@ class QueryEngine:
                 integrator = integrator_factory(query, seed)
             else:
                 integrator = self.integrator.fork(seed)
-            return self._execute_with(query, strategies, integrator)
+            return self._execute_with(query, strategies, integrator, seed=seed)
 
         start = time.perf_counter()
         if workers == 1 or len(queries) <= 1:
@@ -234,7 +330,8 @@ class QueryEngine:
         Returns ``None`` when some strategy proved the result empty (the
         reason is recorded in ``stats.empty_by_strategy``).
         """
-        return self._prepare_search(query, self.strategies, stats)
+        stage = SearchStage(self.index, phase1=self.phase1)
+        return stage.prepare(query, self.strategies, stats)
 
     def filter_and_integrate(
         self,
@@ -249,14 +346,22 @@ class QueryEngine:
         :meth:`prepare_search`); the monitoring session uses this to feed
         cached candidates instead of a fresh index search.
         """
-        return self._filter_and_integrate(
-            query, candidate_ids, points, stats, self.strategies, self.integrator
+        ctx = StageContext(
+            query,
+            self.strategies,
+            self.integrator,
+            stats,
+            candidate_ids=np.asarray(candidate_ids),
+            points=points,
         )
+        ids = execute_pipeline(ctx, [FilterStage(), IntegrateStage()])
+        return QueryResult(ids, stats)
 
     # ------------------------------------------------------------------
-    # Internals parameterized by (strategies, integrator) so the batch
-    # path can run with per-query clones while the single-query path
-    # keeps using the engine's own instances.
+    # The shared execution path: every entry point funnels through here,
+    # parameterized by (strategies, integrator) so the batch path can run
+    # with per-query clones while the single-query path keeps using the
+    # engine's own instances.
     # ------------------------------------------------------------------
 
     def _execute_with(
@@ -264,96 +369,46 @@ class QueryEngine:
         query: ProbabilisticRangeQuery,
         strategies: list[Strategy],
         integrator: ProbabilityIntegrator,
+        *,
+        seed: np.random.SeedSequence | None = None,
     ) -> QueryResult:
         stats = QueryStats()
-
-        # ------------------------------------------------------ Phase 1
-        with stats.time_phase("search"):
-            search_rect = self._prepare_search(query, strategies, stats)
-            if search_rect is None:
-                return QueryResult((), stats)
-            candidate_ids = self.index.range_search_rect(search_rect)
-            stats.retrieved = len(candidate_ids)
-            if not candidate_ids:
-                return QueryResult((), stats)
-            points = np.vstack([self.index.get(i) for i in candidate_ids])
-
-        return self._filter_and_integrate(
-            query, candidate_ids, points, stats, strategies, integrator
-        )
-
-    def _prepare_search(
-        self,
-        query: ProbabilisticRangeQuery,
-        strategies: list[Strategy],
-        stats: QueryStats,
-    ) -> Rect | None:
-        if query.dim != self.index.dim:
-            raise QueryError(
-                f"query dimension {query.dim} does not match index "
-                f"dimension {self.index.dim}"
-            )
-        for strategy in strategies:
-            strategy.prepare(query)
-        for strategy in strategies:
-            if strategy.proves_empty:
-                stats.empty_by_strategy = strategy.name
-                return None
-        search_rect = self._combined_search_rect(strategies)
-        if search_rect is None:
-            stats.empty_by_strategy = "intersection"
-        return search_rect
-
-    def _filter_and_integrate(
-        self,
-        query: ProbabilisticRangeQuery,
-        candidate_ids: list[int],
-        points: np.ndarray,
-        stats: QueryStats,
-        strategies: list[Strategy],
-        integrator: ProbabilityIntegrator,
-    ) -> QueryResult:
-        ids_arr = np.asarray(candidate_ids)
-
-        # ------------------------------------------------------ Phase 2
-        with stats.time_phase("filter"):
-            undecided = np.ones(ids_arr.size, dtype=bool)
-            accept_mask = np.zeros(ids_arr.size, dtype=bool)
-            for strategy in strategies:
-                if not np.any(undecided):
-                    break
-                codes = strategy.classify_many(points[undecided])
-                rejected = codes == REJECT
-                stats.note_rejections(strategy.name, int(np.count_nonzero(rejected)))
-                idx = np.nonzero(undecided)[0]
-                accept_mask[idx[codes == ACCEPT]] = True
-                undecided[idx[rejected]] = False
-                undecided[idx[codes == ACCEPT]] = False
-            accepted = ids_arr[accept_mask].tolist()
-            stats.accepted_without_integration = len(accepted)
-            to_integrate = np.nonzero(undecided)[0]
-
-        # ------------------------------------------------------ Phase 3
-        # Decision-aware: the integrator only has to settle p >= θ per
-        # candidate, so bound-based backends (the cascade) can decide most
-        # of the block without ever computing a full probability.  The
-        # base-class decide() is qualification_probabilities + the
-        # estimate >= θ rule, so sampling integrators behave identically.
-        with stats.time_phase("integrate"):
-            stats.integrations = int(to_integrate.size)
-            if to_integrate.size:
-                accept, _, estimates = integrator.decide(
-                    query.gaussian, points[to_integrate], query.delta, query.theta
+        phase1 = self.phase1
+        if self.planner is not None:
+            with stats.time_phase("plan"):
+                strategies, integrator, phase1 = self._apply_plan(
+                    query, integrator, stats, seed
                 )
-                for slot, result, is_accept in zip(to_integrate, estimates, accept):
-                    stats.integration_samples += result.n_samples
-                    stats.note_decision(result.method)
-                    if is_accept:
-                        accepted.append(ids_arr[slot])
-
-        ids = tuple(int(i) for i in sorted(accepted))
-        stats.results = len(ids)
+        ctx = StageContext(query, strategies, integrator, stats)
+        stages = [
+            SearchStage(self.index, phase1=phase1),
+            FilterStage(),
+            IntegrateStage(),
+        ]
+        ids = execute_pipeline(ctx, stages)
         return QueryResult(ids, stats)
+
+    def _apply_plan(
+        self,
+        query: ProbabilisticRangeQuery,
+        integrator: ProbabilityIntegrator,
+        stats: QueryStats,
+        seed: np.random.SeedSequence | None,
+    ) -> tuple[list[Strategy], ProbabilityIntegrator, str]:
+        """Plan ``query`` and materialize the chosen stages."""
+        decision = self.planner.plan(query, integrator)
+        chosen = decision.chosen
+        strategies = self.planner.build_strategies(chosen.strategies)
+        if chosen.integrator != integrator.name:
+            picked = self.planner.integrator_for(chosen.integrator)
+            if picked is not None:
+                integrator = picked.fork(seed) if seed is not None else picked
+        stats.plan_strategies = chosen.strategy_names
+        stats.plan_phase1 = chosen.phase1
+        stats.plan_cache_hit = decision.cache_hit
+        stats.predicted_integrations = chosen.predicted_candidates
+        stats.predicted_seconds = chosen.predicted_seconds
+        return strategies, integrator, chosen.phase1
 
     def explain(
         self, query: ProbabilisticRangeQuery, *, estimator=None
@@ -364,12 +419,31 @@ class QueryEngine:
         Returns a :class:`QueryPlan` with each strategy's derived geometry
         (region radii/half-widths), the combined Phase-1 rectangle, and —
         when a :class:`repro.core.selectivity.SelectivityEstimator` is
-        supplied — the predicted Phase-3 candidate count.
+        supplied or a planner is attached — the predicted Phase-3
+        candidate count.  A planned engine additionally attaches the full
+        plan comparison table (every scored candidate plan).
         """
         stats = QueryStats()
-        rect = self.prepare_search(query, stats)
+        strategies = self.strategies
+        phase1 = self.phase1
+        predicted = None
+        predicted_seconds = None
+        comparison: tuple = ()
+        planned = False
+        if self.planner is not None:
+            decision = self.planner.plan(query, self.integrator)
+            chosen = decision.chosen
+            strategies = self.planner.build_strategies(chosen.strategies)
+            phase1 = chosen.phase1
+            predicted = chosen.predicted_candidates
+            predicted_seconds = chosen.predicted_seconds
+            comparison = decision.considered
+            planned = True
+        stage = SearchStage(self.index, phase1=phase1)
+        rect = stage.prepare(query, strategies, stats)
         descriptions: list[str] = []
-        for strategy in self.strategies:
+        alpha_upper = alpha_lower = None
+        for strategy in strategies:
             if strategy.name == "RR":
                 region = strategy.region  # type: ignore[attr-defined]
                 widths = (region.core.extents / 2.0).round(3).tolist()
@@ -381,42 +455,34 @@ class QueryEngine:
                 half = strategy.box.half_widths.round(3).tolist()  # type: ignore[attr-defined]
                 descriptions.append(f"OR: oblique box half-widths {half}")
             elif strategy.name == "BF":
-                upper = strategy.alpha_upper  # type: ignore[attr-defined]
-                lower = strategy.alpha_lower  # type: ignore[attr-defined]
+                alpha_upper = strategy.alpha_upper  # type: ignore[attr-defined]
+                alpha_lower = strategy.alpha_lower  # type: ignore[attr-defined]
                 descriptions.append(
                     "BF: prune beyond "
-                    + (f"{upper:.3f}" if upper is not None else "— (empty result)")
+                    + (
+                        f"{alpha_upper:.3f}"
+                        if alpha_upper is not None
+                        else "— (empty result)"
+                    )
                     + ", accept within "
-                    + (f"{lower:.3f}" if lower is not None else "— (no hole)")
+                    + (
+                        f"{alpha_lower:.3f}"
+                        if alpha_lower is not None
+                        else "— (no hole)"
+                    )
                 )
-        predicted = None
-        if estimator is not None and rect is not None:
-            predicted = estimator.estimate_candidates(
-                query, list(self.strategies)
-            )
+        if predicted is None and estimator is not None and rect is not None:
+            predicted = estimator.estimate_candidates(query, list(strategies))
         return QueryPlan(
-            strategies=tuple(s.name for s in self.strategies),
+            strategies=tuple(s.name for s in strategies),
             descriptions=tuple(descriptions),
             search_rect=rect,
             proves_empty=stats.empty_by_strategy,
             predicted_candidates=predicted,
+            phase1=phase1,
+            alpha_upper=alpha_upper,
+            alpha_lower=alpha_lower,
+            predicted_seconds=predicted_seconds,
+            comparison=comparison,
+            planned=planned,
         )
-
-    def _combined_search_rect(self, strategies: list[Strategy]) -> Rect | None:
-        """The Phase-1 rectangle per the engine's policy; ``None`` if empty."""
-        rect: Rect | None = None
-        for strategy in strategies:
-            contribution = strategy.search_rect()
-            if contribution is None:
-                continue
-            if self.phase1 == "primary":
-                return contribution  # the first contributing strategy wins
-            rect = contribution if rect is None else rect.intersection(contribution)
-            if rect is None:
-                return None
-        if rect is None:
-            raise QueryError(
-                "no strategy contributed a Phase-1 search region; include RR, "
-                "OR, EM or BF"
-            )
-        return rect

@@ -1,0 +1,509 @@
+"""Cost-based adaptive query planning (``strategy="auto"``).
+
+The paper's Tables I–III show that no fixed filter configuration wins
+everywhere: pre-approximation pays off only when it prunes enough, and
+the right combination depends on the query's shape (Σ), range (δ) and
+threshold (θ).  ``QueryPlanner`` picks the cheapest plan per query
+instead of trusting the caller:
+
+1. **Enumerate** candidate plans — every (strategy combo × Phase-1 mode ×
+   integrator) from its configured menus.
+2. **Predict** each plan's workload: expected Phase-1 retrievals from a
+   :class:`repro.core.selectivity.SelectivityEstimator` (uniform-density
+   fallback above d = 3) and expected Phase-3 candidates from the
+   strategies' own prepared regions (BF's catalog-derived α∥/α⊥ radii,
+   RR/OR boxes).
+3. **Score** with calibrated per-strategy and per-integrator cost
+   coefficients (:class:`PlannerCostModel`,
+   ``ProbabilityIntegrator.cost_per_candidate``) and pick the minimum.
+
+Determinism contract: plans are a *pure function of the quantized query
+shape*.  The planner quantizes (Σ-spectrum, δ, θ) onto a log grid, plans
+against a canonical query reconstructed from the quantized key (centered
+at the data centre), and memoizes the decision in a thread-safe LRU
+cache.  Because the decision never depends on the concrete query center,
+batch order or cache warmth, ``run_batch`` stays bit-identical across
+worker counts and across cold/warm caches — repeated workload shapes
+simply reuse their plan.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.selectivity import SelectivityEstimator
+from repro.core.stages import combined_search_rect
+from repro.core.strategies import UNKNOWN, Strategy, make_strategies
+from repro.errors import QueryError
+from repro.gaussian.distribution import Gaussian
+from repro.geometry.mbr import Rect
+from repro.integrate.base import ProbabilityIntegrator
+
+__all__ = ["PlannerCostModel", "PlanChoice", "PlanDecision", "QueryPlanner"]
+
+#: Strategy combinations the planner enumerates by default — the paper's
+#: six configurations.  EM is excluded from the default menu: its
+#: per-candidate root find makes the classify coefficient data-dependent.
+DEFAULT_COMBOS: tuple[str, ...] = (
+    "rr",
+    "bf",
+    "rr+bf",
+    "rr+or",
+    "bf+or",
+    "all",
+)
+
+
+def _default_prepare_seconds() -> dict[str, float]:
+    return {"RR": 2e-5, "OR": 4e-5, "BF": 2e-4, "EM": 2e-5}
+
+
+def _default_classify_seconds() -> dict[str, float]:
+    return {"RR": 1.5e-7, "OR": 2.5e-7, "BF": 1.2e-7, "EM": 2.0e-5}
+
+
+@dataclass(frozen=True)
+class PlannerCostModel:
+    """Calibrated cost coefficients, all in seconds.
+
+    The defaults were measured on the 2-D road workload (50k points,
+    R*-tree); they only need to be *relatively* right — the planner
+    compares plans against each other, never against a wall clock.  Pass
+    a replacement to :class:`QueryPlanner` to recalibrate, e.g. after
+    profiling on different hardware.
+    """
+
+    #: Fixed Phase-1 overhead (tree descent, result assembly).
+    search_base: float = 5e-5
+    #: Per retrieved candidate: index walk + point gather.
+    search_per_object: float = 2.5e-7
+    #: Per-strategy `prepare()` cost (BF's noncentral-χ² root finds
+    #: dominate; the preparation LRU caches amortize them across a
+    #: workload, so this is the *cold* figure scaled down).
+    prepare_seconds: Mapping[str, float] = field(
+        default_factory=_default_prepare_seconds
+    )
+    #: Per-strategy `classify_many()` cost per candidate row.
+    classify_seconds: Mapping[str, float] = field(
+        default_factory=_default_classify_seconds
+    )
+    #: Fallbacks for strategies missing from the maps.
+    default_prepare: float = 5e-5
+    default_classify: float = 5e-7
+
+    def strategy_cost(self, names: Sequence[str], retrieved: float) -> float:
+        """Prepare + classify cost of a strategy list over ``retrieved`` rows."""
+        cost = 0.0
+        for name in names:
+            cost += self.prepare_seconds.get(name, self.default_prepare)
+            cost += (
+                self.classify_seconds.get(name, self.default_classify)
+                * retrieved
+            )
+        return cost
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One scored candidate plan."""
+
+    #: Strategy spec string (``"rr+bf"`` …) — feed to ``make_strategies``.
+    strategies: str
+    #: The individual strategy names, execution order.
+    strategy_names: tuple[str, ...]
+    #: Phase-1 policy: ``"intersect"`` or ``"primary"``.
+    phase1: str
+    #: Name of the Phase-3 integrator this plan assumes.
+    integrator: str
+    #: Predicted Phase-1 retrievals.
+    predicted_retrieved: float
+    #: Predicted Phase-3 candidates (after all filters).
+    predicted_candidates: float
+    #: Total predicted cost under the cost model, seconds.
+    predicted_seconds: float
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's verdict for one quantized query shape."""
+
+    chosen: PlanChoice
+    #: Every plan that was scored, cheapest first.
+    considered: tuple[PlanChoice, ...]
+    #: The quantized cache key the decision is memoized under.
+    key: tuple
+    #: True when this decision came from the LRU cache.
+    cache_hit: bool = False
+
+
+class QueryPlanner:
+    """Chooses the cheapest (strategies × phase-1 × integrator) per query.
+
+    Parameters
+    ----------
+    total_points:
+        Dataset size, for the uniform-density fallback predictions.
+    data_bounds:
+        Bounding rectangle of the dataset; its centre is the canonical
+        query location plans are computed at.
+    estimator:
+        Optional :class:`SelectivityEstimator` (d ≤ 3).  Without one the
+        planner assumes uniform density inside ``data_bounds``.
+    combos:
+        Strategy spec strings to enumerate.
+    phase1_modes:
+        Phase-1 policies to enumerate (both paper modes by default).
+    integrators:
+        Optional menu of alternative Phase-3 integrators to enumerate in
+        addition to the caller's own.  Off by default so the planner
+        never silently changes the caller's accuracy contract.
+    cost_model:
+        Replacement :class:`PlannerCostModel` coefficients.
+    cache_size:
+        LRU plan-cache capacity (distinct quantized workload shapes).
+    bins_per_efold:
+        Quantization resolution of the cache key: each of log λᵢ, log δ
+        and log θ is rounded to 1/``bins_per_efold`` — coarser bins mean
+        more cache reuse but blunter plans.
+    n_samples:
+        Monte Carlo budget per candidate-count prediction (planning-time
+        only; executed results never depend on it).
+    rtheta_lookup, bf_lookup, fringe_filter:
+        Forwarded to ``make_strategies`` for both planning and the
+        strategies the engine executes, so catalog-driven deployments
+        plan with the same conservative radii they run with.
+    """
+
+    def __init__(
+        self,
+        *,
+        total_points: int,
+        data_bounds: Rect,
+        estimator: SelectivityEstimator | None = None,
+        combos: Sequence[str] = DEFAULT_COMBOS,
+        phase1_modes: Sequence[str] = ("intersect", "primary"),
+        integrators: Sequence[ProbabilityIntegrator] | None = None,
+        cost_model: PlannerCostModel | None = None,
+        cache_size: int = 256,
+        bins_per_efold: int = 4,
+        n_samples: int = 4_000,
+        rtheta_lookup=None,
+        bf_lookup=None,
+        fringe_filter: str = "exact",
+    ):
+        if total_points < 1:
+            raise QueryError(f"total_points must be >= 1, got {total_points}")
+        if not combos:
+            raise QueryError("at least one strategy combo is required")
+        for mode in phase1_modes:
+            if mode not in ("intersect", "primary"):
+                raise QueryError(f"unknown phase1 mode {mode!r}")
+        if not phase1_modes:
+            raise QueryError("at least one phase1 mode is required")
+        if cache_size < 1:
+            raise QueryError(f"cache_size must be >= 1, got {cache_size}")
+        if bins_per_efold < 1:
+            raise QueryError(
+                f"bins_per_efold must be >= 1, got {bins_per_efold}"
+            )
+        if n_samples < 100:
+            raise QueryError(f"n_samples must be >= 100, got {n_samples}")
+        self._total = int(total_points)
+        self._bounds = data_bounds
+        self._estimator = estimator
+        self.combos = tuple(combos)
+        self.phase1_modes = tuple(phase1_modes)
+        self._integrators = {i.name: i for i in integrators or ()}
+        self.cost_model = cost_model or PlannerCostModel()
+        self._bins = int(bins_per_efold)
+        self._n_samples = int(n_samples)
+        self._rtheta_lookup = rtheta_lookup
+        self._bf_lookup = bf_lookup
+        self._fringe_filter = fringe_filter
+        self._cache: OrderedDict[tuple, PlanDecision] = OrderedDict()
+        self._cache_size = int(cache_size)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._rotations: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        query: ProbabilisticRangeQuery,
+        integrator: ProbabilityIntegrator,
+    ) -> PlanDecision:
+        """The cheapest plan for ``query`` under the cost model.
+
+        Memoized per quantized (Σ-spectrum, δ, θ, integrator) shape; the
+        decision is a pure function of that key, so identical shapes get
+        identical plans regardless of arrival order or cache state.
+        """
+        key = self._cache_key(query, integrator)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return replace(cached, cache_hit=True)
+        decision = self._plan_key(key, integrator)
+        with self._lock:
+            self._misses += 1
+            self._cache[key] = decision
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return decision
+
+    def build_strategies(self, spec: str) -> list[Strategy]:
+        """Fresh strategy instances for a chosen plan (engine-executable)."""
+        return make_strategies(
+            spec,
+            rtheta_lookup=self._rtheta_lookup,
+            bf_lookup=self._bf_lookup,
+            fringe_filter=self._fringe_filter,
+        )
+
+    def integrator_for(self, name: str) -> ProbabilityIntegrator | None:
+        """The menu integrator behind a plan's choice, if any."""
+        return self._integrators.get(name)
+
+    def cache_info(self) -> dict[str, int]:
+        """Plan-cache counters: hits, misses, current and maximum size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "currsize": len(self._cache),
+                "maxsize": self._cache_size,
+            }
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Quantization: cache key <-> canonical query
+    # ------------------------------------------------------------------
+
+    def _qlog(self, value: float) -> int:
+        return round(math.log(max(value, 1e-300)) * self._bins)
+
+    def _cache_key(
+        self,
+        query: ProbabilisticRangeQuery,
+        integrator: ProbabilityIntegrator,
+    ) -> tuple:
+        spectrum = tuple(
+            self._qlog(ev) for ev in np.sort(query.gaussian.eigenvalues)
+        )
+        return (
+            query.dim,
+            spectrum,
+            self._qlog(query.delta),
+            self._qlog(query.theta),
+            integrator.name,
+        )
+
+    def _dequantize(self, q: int) -> float:
+        return math.exp(q / self._bins)
+
+    def _generic_rotation(self, dim: int) -> np.ndarray:
+        """A fixed, deterministic 'generic orientation' rotation per dim.
+
+        The cache key keeps only the Σ *spectrum*, so the canonical query
+        must pick some orientation.  Axis-aligned would be the worst
+        prior: it makes RR's bounding box coincide with OR's oblique box
+        and hides OR's pruning power entirely, while real covariances are
+        almost never axis-aligned.  A fixed random rotation is the
+        generic case.
+        """
+        rotation = self._rotations.get(dim)
+        if rotation is None:
+            rng = np.random.default_rng(0)
+            q, r = np.linalg.qr(rng.standard_normal((dim, dim)))
+            rotation = q * np.sign(np.diag(r))
+            self._rotations[dim] = rotation
+        return rotation
+
+    def _canonical_query(self, key: tuple) -> ProbabilisticRangeQuery:
+        """Rebuild the representative query of a cache key.
+
+        Centered at the data centre, with the quantized spectrum rotated
+        into a fixed generic orientation — the plan must not depend on
+        any per-query detail finer than the key, or cache reuse would
+        break the determinism contract.
+        """
+        dim, spectrum, qdelta, qtheta, _ = key
+        eigenvalues = np.array([self._dequantize(q) for q in spectrum])
+        rotation = self._generic_rotation(dim)
+        sigma = (rotation * eigenvalues) @ rotation.T
+        sigma = 0.5 * (sigma + sigma.T)
+        delta = self._dequantize(qdelta)
+        theta = min(max(self._dequantize(qtheta), 1e-9), 1.0 - 1e-9)
+        return ProbabilisticRangeQuery(
+            Gaussian(self._bounds.center, sigma), delta, theta
+        )
+
+    # ------------------------------------------------------------------
+    # Prediction + scoring
+    # ------------------------------------------------------------------
+
+    def _estimate_in_rect(self, rect: Rect | None) -> float:
+        if rect is None:
+            return 0.0
+        if self._estimator is not None:
+            return self._estimator.estimate_in_rect(rect)
+        clipped = rect.intersection(self._bounds)
+        if clipped is None:
+            return 0.0
+        bounds_volume = self._bounds.volume()
+        if bounds_volume <= 0.0:
+            return float(self._total)
+        return self._total * clipped.volume() / bounds_volume
+
+    def _shared_candidate_estimates(
+        self,
+        combo_strategies: Mapping[str, list[Strategy]],
+        combo_rects: Mapping[str, Rect | None],
+    ) -> dict[str, float]:
+        """Predicted Phase-3 candidates per combo from one shared sample set.
+
+        One uniform sample set over the union of every combo's Phase-1
+        rectangle, one ``classify_many`` pass per *distinct* strategy and
+        one density lookup serve all combos — common random numbers, so
+        the predicted ranking between combos is far more stable than
+        independent per-combo estimates (and ~|combos|× cheaper).
+
+        The filters reject everything outside their own regions, so each
+        combo's undecided region — hence its Phase-3 candidate count — is
+        the same for every Phase-1 mode; only the retrieved count differs.
+        """
+        rects = [rect for rect in combo_rects.values() if rect is not None]
+        estimates = {combo: 0.0 for combo in combo_rects}
+        if not rects:
+            return estimates
+        union = Rect(
+            np.min([rect.lows for rect in rects], axis=0),
+            np.max([rect.highs for rect in rects], axis=0),
+        )
+        rng = np.random.default_rng(0)
+        samples = (
+            union.lows + rng.random((self._n_samples, union.dim)) * union.extents
+        )
+        unknown: dict[str, np.ndarray] = {}
+        for combo, strategies in combo_strategies.items():
+            if combo_rects[combo] is None:
+                continue
+            for strategy in strategies:
+                if strategy.name not in unknown:
+                    unknown[strategy.name] = (
+                        strategy.classify_many(samples) == UNKNOWN
+                    )
+        if self._estimator is not None:
+            weights = self._estimator.density_at(samples)
+        else:
+            bounds_volume = self._bounds.volume()
+            density = self._total / bounds_volume if bounds_volume > 0 else 0.0
+            weights = np.where(
+                self._bounds.contains_points(samples), density, 0.0
+            )
+        cell = union.volume() / self._n_samples
+        for combo, rect in combo_rects.items():
+            if rect is None:
+                continue
+            mask = rect.contains_points(samples)
+            for strategy in combo_strategies[combo]:
+                mask &= unknown[strategy.name]
+            estimates[combo] = float(weights[mask].sum() * cell)
+        return estimates
+
+    def _plan_key(
+        self, key: tuple, caller_integrator: ProbabilityIntegrator
+    ) -> PlanDecision:
+        canonical = self._canonical_query(key)
+        integrators = [caller_integrator] + [
+            i
+            for i in self._integrators.values()
+            if i.name != caller_integrator.name
+        ]
+        # Combos share one prepared instance per strategy name: BF's α
+        # root finds and RR/OR's r_θ lookups run once per cache key, not
+        # once per combo.
+        pool: dict[str, Strategy] = {}
+        combo_strategies: dict[str, list[Strategy]] = {}
+        for combo in self.combos:
+            combo_strategies[combo] = [
+                pool.setdefault(s.name, s) for s in self.build_strategies(combo)
+            ]
+        for strategy in pool.values():
+            strategy.prepare(canonical)
+        combo_empty = {
+            combo: any(s.proves_empty for s in strategies)
+            for combo, strategies in combo_strategies.items()
+        }
+        combo_rects = {
+            combo: (
+                None
+                if combo_empty[combo]
+                else combined_search_rect(strategies, phase1="intersect")
+            )
+            for combo, strategies in combo_strategies.items()
+        }
+        candidate_counts = self._shared_candidate_estimates(
+            combo_strategies, combo_rects
+        )
+        choices: list[PlanChoice] = []
+        for combo in self.combos:
+            strategies = combo_strategies[combo]
+            names = tuple(s.name for s in strategies)
+            candidates = candidate_counts[combo]
+            for mode in self.phase1_modes:
+                mode_rect = (
+                    None
+                    if combo_empty[combo]
+                    else combined_search_rect(strategies, phase1=mode)
+                )
+                retrieved = self._estimate_in_rect(mode_rect)
+                for integrator in integrators:
+                    cost = (
+                        self.cost_model.search_base
+                        + self.cost_model.search_per_object * retrieved
+                        + self.cost_model.strategy_cost(names, retrieved)
+                        + integrator.cost_per_candidate * candidates
+                    )
+                    choices.append(
+                        PlanChoice(
+                            strategies=combo,
+                            strategy_names=names,
+                            phase1=mode,
+                            integrator=integrator.name,
+                            predicted_retrieved=retrieved,
+                            predicted_candidates=candidates,
+                            predicted_seconds=cost,
+                        )
+                    )
+        # Deterministic ordering: cost, then menu order, so ties never
+        # depend on dict iteration or float noise across processes.
+        order = {combo: i for i, combo in enumerate(self.combos)}
+        modes = {mode: i for i, mode in enumerate(self.phase1_modes)}
+        choices.sort(
+            key=lambda c: (
+                c.predicted_seconds,
+                order[c.strategies],
+                modes[c.phase1],
+            )
+        )
+        return PlanDecision(
+            chosen=choices[0], considered=tuple(choices), key=key
+        )

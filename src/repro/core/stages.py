@@ -1,0 +1,248 @@
+"""Composable execution stages behind the three-phase engine.
+
+The paper's query processor is one fixed Search → Filter → Integrate
+sequence; this module turns each phase into a stage object so the engine
+(and anything else — the monitoring session, the planner's what-if
+machinery) can compose, reorder or skip phases without duplicating the
+phase bodies.  A stage consumes and mutates one :class:`StageContext`;
+:func:`execute_pipeline` is the single shared driver that
+``QueryEngine.execute``, ``run`` and ``run_batch`` all funnel through,
+which is what guarantees the two paths can never drift apart.
+
+Every stage times itself under its ``phase`` label, so the
+``QueryStats.phase_seconds`` structure is identical no matter which entry
+point built the pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.stats import QueryStats
+from repro.core.strategies import ACCEPT, REJECT, Strategy
+from repro.errors import QueryError
+from repro.geometry.mbr import Rect
+from repro.index.base import SpatialIndex
+from repro.integrate.base import ProbabilityIntegrator
+
+__all__ = [
+    "StageContext",
+    "Stage",
+    "SearchStage",
+    "FilterStage",
+    "IntegrateStage",
+    "execute_pipeline",
+]
+
+
+@dataclass
+class StageContext:
+    """Mutable per-execution state handed from stage to stage.
+
+    ``candidate_ids``/``points`` may be pre-populated (the monitoring
+    session injects its cached candidates instead of running a
+    :class:`SearchStage`); ``finished`` short-circuits the remaining
+    stages (set when a strategy proves the result empty or Phase 1
+    retrieves nothing).
+    """
+
+    query: ProbabilisticRangeQuery
+    strategies: list[Strategy]
+    integrator: ProbabilityIntegrator
+    stats: QueryStats = field(default_factory=QueryStats)
+    candidate_ids: np.ndarray | None = None
+    points: np.ndarray | None = None
+    #: Object ids already accepted into the result (BF free accepts plus
+    #: Phase-3 accepts accumulate here).
+    accepted: list[int] = field(default_factory=list)
+    #: Boolean mask over ``candidate_ids`` of rows still undecided.
+    undecided: np.ndarray | None = None
+    finished: bool = False
+
+
+class Stage(abc.ABC):
+    """One phase of the pipeline; mutates the context in place."""
+
+    #: Timing bucket in ``QueryStats.phase_seconds``.
+    phase: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, ctx: StageContext) -> None:
+        """Execute this phase against ``ctx``."""
+
+
+class SearchStage(Stage):
+    """Phase 1: prepare the strategies and run one index range search.
+
+    ``phase1`` selects the paper-faithful ``"primary"`` mode (only the
+    first contributing strategy's rectangle drives the search, Algorithms
+    1/2) or the default ``"intersect"`` mode (every contributed rectangle
+    is intersected — never retrieves more, never loses answers).
+    """
+
+    phase = "search"
+
+    def __init__(self, index: SpatialIndex, *, phase1: str = "intersect"):
+        if phase1 not in ("intersect", "primary"):
+            raise QueryError(
+                f"phase1 must be 'intersect' or 'primary', got {phase1!r}"
+            )
+        self.index = index
+        self.phase1 = phase1
+
+    def prepare(
+        self,
+        query: ProbabilisticRangeQuery,
+        strategies: list[Strategy],
+        stats: QueryStats,
+    ) -> Rect | None:
+        """Prepare every strategy and return the combined Phase-1 rectangle.
+
+        Returns ``None`` when some strategy proved the result empty (the
+        reason lands in ``stats.empty_by_strategy``).
+        """
+        if query.dim != self.index.dim:
+            raise QueryError(
+                f"query dimension {query.dim} does not match index "
+                f"dimension {self.index.dim}"
+            )
+        for strategy in strategies:
+            strategy.prepare(query)
+        for strategy in strategies:
+            if strategy.proves_empty:
+                stats.empty_by_strategy = strategy.name
+                return None
+        rect = combined_search_rect(strategies, phase1=self.phase1)
+        if rect is None:
+            stats.empty_by_strategy = "intersection"
+        return rect
+
+    def run(self, ctx: StageContext) -> None:
+        rect = self.prepare(ctx.query, ctx.strategies, ctx.stats)
+        if rect is None:
+            ctx.finished = True
+            return
+        candidate_ids = self.index.range_search_rect(rect)
+        ctx.stats.retrieved = len(candidate_ids)
+        if not candidate_ids:
+            ctx.finished = True
+            return
+        ctx.candidate_ids = np.asarray(candidate_ids)
+        ctx.points = np.vstack([self.index.get(i) for i in candidate_ids])
+
+
+class FilterStage(Stage):
+    """Phase 2: classify candidates with every strategy.
+
+    A single REJECT drops a candidate; a single ACCEPT (only BF issues
+    these) adds it to the result without integration; survivors stay in
+    ``ctx.undecided`` for Phase 3.
+    """
+
+    phase = "filter"
+
+    def run(self, ctx: StageContext) -> None:
+        ids_arr = ctx.candidate_ids
+        assert ids_arr is not None and ctx.points is not None
+        undecided = np.ones(ids_arr.size, dtype=bool)
+        accept_mask = np.zeros(ids_arr.size, dtype=bool)
+        for strategy in ctx.strategies:
+            if not np.any(undecided):
+                break
+            codes = strategy.classify_many(ctx.points[undecided])
+            rejected = codes == REJECT
+            ctx.stats.note_rejections(
+                strategy.name, int(np.count_nonzero(rejected))
+            )
+            idx = np.nonzero(undecided)[0]
+            accept_mask[idx[codes == ACCEPT]] = True
+            undecided[idx[rejected]] = False
+            undecided[idx[codes == ACCEPT]] = False
+        ctx.accepted.extend(ids_arr[accept_mask].tolist())
+        ctx.stats.accepted_without_integration = int(
+            np.count_nonzero(accept_mask)
+        )
+        ctx.undecided = undecided
+
+
+class IntegrateStage(Stage):
+    """Phase 3: θ-decide every still-undecided candidate.
+
+    Decision-aware: the integrator only has to settle p ≥ θ per
+    candidate, so bound-based backends (the cascade) can decide most of
+    the block without ever computing a full probability.  The base-class
+    ``decide()`` is ``qualification_probabilities`` + the ``estimate ≥ θ``
+    rule, so sampling integrators behave identically.
+    """
+
+    phase = "integrate"
+
+    def run(self, ctx: StageContext) -> None:
+        ids_arr = ctx.candidate_ids
+        assert ids_arr is not None and ctx.points is not None
+        undecided = (
+            ctx.undecided
+            if ctx.undecided is not None
+            else np.ones(ids_arr.size, dtype=bool)
+        )
+        to_integrate = np.nonzero(undecided)[0]
+        ctx.stats.integrations = int(to_integrate.size)
+        if not to_integrate.size:
+            return
+        query = ctx.query
+        accept, _, estimates = ctx.integrator.decide(
+            query.gaussian, ctx.points[to_integrate], query.delta, query.theta
+        )
+        for slot, result, is_accept in zip(to_integrate, estimates, accept):
+            ctx.stats.integration_samples += result.n_samples
+            ctx.stats.note_decision(result.method)
+            if is_accept:
+                ctx.accepted.append(ids_arr[slot])
+
+
+def combined_search_rect(
+    strategies: list[Strategy], *, phase1: str = "intersect"
+) -> Rect | None:
+    """The Phase-1 rectangle under the given policy; ``None`` if empty.
+
+    Raises :class:`QueryError` when no strategy contributes a rectangle.
+    """
+    rect: Rect | None = None
+    for strategy in strategies:
+        contribution = strategy.search_rect()
+        if contribution is None:
+            continue
+        if phase1 == "primary":
+            return contribution  # the first contributing strategy wins
+        rect = contribution if rect is None else rect.intersection(contribution)
+        if rect is None:
+            return None
+    if rect is None:
+        raise QueryError(
+            "no strategy contributed a Phase-1 search region; include RR, "
+            "OR, EM or BF"
+        )
+    return rect
+
+
+def execute_pipeline(
+    ctx: StageContext, stages: list[Stage]
+) -> tuple[int, ...]:
+    """Run ``stages`` in order over ``ctx`` and return the sorted result ids.
+
+    Each stage's wall time accumulates under its ``phase`` label; a stage
+    setting ``ctx.finished`` short-circuits the rest.  This is the single
+    driver behind every engine entry point.
+    """
+    for stage in stages:
+        if ctx.finished:
+            break
+        with ctx.stats.time_phase(stage.phase):
+            stage.run(ctx)
+    ids = tuple(int(i) for i in sorted(ctx.accepted))
+    ctx.stats.results = len(ids)
+    return ids

@@ -37,6 +37,18 @@ class QueryStats:
     empty_by_strategy: str | None = None
     #: True when a monitoring session served Phase 1 from its cache.
     cache_hit: bool = False
+    #: Strategy names the cost-based planner chose (None = fixed engine).
+    plan_strategies: tuple[str, ...] | None = None
+    #: Phase-1 mode the planner chose ("intersect"/"primary").
+    plan_phase1: str | None = None
+    #: True when the plan came from the planner's LRU cache (None = no
+    #: planner ran for this query).
+    plan_cache_hit: bool | None = None
+    #: Planner's predicted Phase-3 candidate count — compare against
+    #: ``integrations`` to audit cost-model calibration.
+    predicted_integrations: float | None = None
+    #: Planner's predicted total cost in seconds.
+    predicted_seconds: float | None = None
 
     @contextmanager
     def time_phase(self, phase: str):
@@ -105,6 +117,13 @@ class BatchStats:
     results: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)
+    #: Queries that went through the cost-based planner, and how many of
+    #: those plans were served from the planner's LRU cache.
+    planned_queries: int = 0
+    plan_cache_hits: int = 0
+    #: Sum of the planner's predicted Phase-3 candidate counts — compare
+    #: against ``integrations`` to audit cost-model calibration.
+    predicted_integrations: float = 0.0
 
     def merge(self, stats: QueryStats) -> None:
         """Fold one query's counters into the batch totals."""
@@ -122,6 +141,10 @@ class BatchStats:
                 self.tier_decisions.get(method, 0) + count
             )
         self.results += stats.results
+        if stats.plan_strategies is not None:
+            self.planned_queries += 1
+            self.plan_cache_hits += bool(stats.plan_cache_hit)
+            self.predicted_integrations += stats.predicted_integrations or 0.0
         for phase, seconds in stats.phase_seconds.items():
             self.phase_seconds[phase] = (
                 self.phase_seconds.get(phase, 0.0) + seconds

@@ -20,13 +20,12 @@ from __future__ import annotations
 
 import abc
 import copy
-import math
 
 import numpy as np
 
-from repro.catalog.bf import BFLookup, ExactBFLookup
+from repro.catalog.bf import BFLookup, alpha_radii
 from repro.catalog.rtheta import ExactRThetaLookup, RThetaLookup
-from repro.errors import QueryError
+from repro.errors import CatalogError, QueryError
 from repro.geometry.mbr import Rect
 from repro.geometry.minkowski import MinkowskiRegion
 from repro.geometry.obliquebox import ObliqueBox
@@ -236,34 +235,13 @@ class BoundingFunctionStrategy(Strategy):
         self.alpha_lower: float | None = None
 
     def prepare(self, query: ProbabilisticRangeQuery) -> None:
-        lookup = self._lookup or ExactBFLookup(query.dim)
-        if lookup.dim != query.dim:
-            raise QueryError(
-                f"BF lookup is for dimension {lookup.dim}, query has {query.dim}"
+        try:
+            self.alpha_upper, self.alpha_lower = alpha_radii(
+                query.gaussian, query.delta, query.theta, self._lookup
             )
-        gaussian = query.gaussian
-        self._center = gaussian.mean
-        sqrt_det = math.exp(0.5 * gaussian.log_det_sigma)
-        dim = query.dim
-
-        lam_par = gaussian.lam_parallel
-        scaled_theta = lam_par ** (dim / 2.0) * sqrt_det * query.theta
-        if scaled_theta >= 1.0:
-            # The upper bounding function integrates to less than theta
-            # everywhere only when no beta exists; a scaled theta >= 1 can
-            # never be reached by a probability, so the result is empty.
-            self.alpha_upper = None
-        else:
-            beta = lookup.alpha_upper(math.sqrt(lam_par) * query.delta, scaled_theta)
-            self.alpha_upper = None if beta is None else beta / math.sqrt(lam_par)
-
-        lam_perp = gaussian.lam_perp
-        scaled_theta = lam_perp ** (dim / 2.0) * sqrt_det * query.theta
-        if scaled_theta >= 1.0:
-            self.alpha_lower = None  # Eq. 37 > 1: no inner hole exists.
-        else:
-            beta = lookup.alpha_lower(math.sqrt(lam_perp) * query.delta, scaled_theta)
-            self.alpha_lower = None if beta is None else beta / math.sqrt(lam_perp)
+        except CatalogError as exc:
+            raise QueryError(str(exc)) from exc
+        self._center = query.gaussian.mean
         self._prepared = True
 
     @property

@@ -96,6 +96,19 @@ class SequentialImportanceSampler(ProbabilityIntegrator):
         self.chunk_size = int(chunk_size)
         self._rng = np.random.default_rng(seed)
 
+    @property
+    def cost_per_candidate(self) -> float:
+        """Planner cost hint: most candidates stop after a few batches.
+
+        The adaptive stopping rule decides clear-cut candidates within
+        the first confidence checks; budget a handful of batches rather
+        than the full ``max_samples`` worst case.
+        """
+        from repro.integrate.base import SECONDS_PER_SAMPLE
+
+        expected = min(self.max_samples, 5 * self.batch_size)
+        return expected * SECONDS_PER_SAMPLE
+
     def qualification_probability(
         self, gaussian: Gaussian, point: np.ndarray, delta: float
     ) -> IntegrationResult:

@@ -9,7 +9,7 @@ from repro.catalog.bf import BFCatalog, ExactBFLookup
 from repro.catalog.io import load_catalog, save_catalog
 from repro.catalog.rtheta import ExactRThetaLookup, RThetaCatalog
 from repro.errors import CatalogError, CatalogLookupError
-from repro.gaussian.radial import alpha_for_mass, offset_sphere_mass, r_theta
+from repro.gaussian.radial import alpha_for_mass, r_theta
 
 
 class TestExactRThetaLookup:

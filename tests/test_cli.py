@@ -48,6 +48,56 @@ class TestDatasetAndQuery:
         out = capsys.readouterr().out
         assert "objects qualify" in out
 
+    def test_query_with_auto_strategies(self, tmp_path, capsys):
+        db_path = str(tmp_path / "data.npz")
+        assert main(["dataset", "uniform", db_path, "--size", "400"]) == 0
+        assert main([
+            "query", db_path,
+            "--center", "500", "500",
+            "--sigma-scale", "900",
+            "--delta", "60", "--theta", "0.05",
+            "--strategies", "auto", "--exact",
+        ]) == 0
+        assert "objects qualify" in capsys.readouterr().out
+
+    def test_explain_renders_plan(self, tmp_path, capsys):
+        db_path = str(tmp_path / "data.npz")
+        assert main(["dataset", "uniform", db_path, "--size", "400"]) == 0
+        assert main([
+            "explain", db_path,
+            "--center", "500", "500",
+            "--sigma-scale", "900",
+            "--delta", "60", "--theta", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chosen by cost-based planner" in out
+        assert "plans considered" in out
+        assert "plan: strategies=" in out
+
+    def test_explain_fixed_strategies(self, tmp_path, capsys):
+        db_path = str(tmp_path / "data.npz")
+        assert main(["dataset", "uniform", db_path, "--size", "400"]) == 0
+        assert main([
+            "explain", db_path,
+            "--center", "500", "500",
+            "--sigma-scale", "900",
+            "--delta", "60", "--theta", "0.05",
+            "--strategies", "rr+bf",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "strategies: RR + BF" in out
+        assert "plans considered" not in out
+
+    def test_explain_dim_mismatch_fails_cleanly(self, tmp_path, capsys):
+        db_path = str(tmp_path / "data.npz")
+        main(["dataset", "uniform", db_path, "--size", "100"])
+        code = main([
+            "explain", db_path, "--center", "1", "2", "3",
+            "--delta", "1", "--theta", "0.1",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
     def test_query_dim_mismatch_fails_cleanly(self, tmp_path, capsys):
         db_path = str(tmp_path / "data.npz")
         main(["dataset", "uniform", db_path, "--size", "100"])

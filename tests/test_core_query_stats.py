@@ -10,7 +10,6 @@ import pytest
 from repro.core.query import ProbabilisticRangeQuery
 from repro.core.stats import QueryStats
 from repro.errors import InvalidThresholdError, QueryError
-from repro.gaussian.distribution import Gaussian
 
 
 class TestProbabilisticRangeQuery:

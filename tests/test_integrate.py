@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.errors import IntegrationError
-from repro.gaussian.distribution import Gaussian
 from repro.integrate import (
     ExactIntegrator,
     ImportanceSamplingIntegrator,

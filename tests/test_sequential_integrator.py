@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.database import SpatialDatabase
 from repro.errors import IntegrationError
-from repro.gaussian.distribution import Gaussian
 from repro.integrate.exact import ExactIntegrator
 from repro.integrate.sequential import SequentialImportanceSampler
 
