@@ -9,12 +9,26 @@ batched ``run_batch`` execution path.
 
 from __future__ import annotations
 
-from conftest import bench_batch_queries, bench_samples, report, report_json
+from pathlib import Path
 
-from repro.bench.harness import ExperimentTable, load_road_database, stopwatch
+from conftest import (
+    bench_batch_queries,
+    bench_metrics_out,
+    bench_samples,
+    report,
+    report_json,
+)
+
+from repro.bench.harness import (
+    ExperimentTable,
+    best_of,
+    load_road_database,
+    stopwatch,
+)
 from repro.bench.workload import WorkloadGenerator, run_workload
 from repro.integrate.cascade import CascadeIntegrator
 from repro.integrate.importance import ImportanceSamplingIntegrator
+from repro.obs import Observability
 
 
 def test_workload_throughput(benchmark):
@@ -248,6 +262,89 @@ def test_planner_vs_fixed(benchmark):
     assert worst_total >= 1.5 * auto.total_seconds, (
         f"auto {auto.total_seconds:.3f}s is not 1.5x faster than the worst "
         f"fixed strategy {worst_spec} ({worst_total:.3f}s)"
+    )
+
+
+def test_observability_overhead(benchmark):
+    """Tracing + metrics must cost < 3% on the mixed workload.
+
+    The acceptance bar for the ``repro.obs`` layer: with a full
+    Observability sink attached (spans for every query/phase/tier plus
+    the whole metrics contract) the 30-query road workload may be at most
+    3% slower than with observability disabled, and the per-query result
+    sets must be identical.  The off/on repetitions are *interleaved* and
+    each side takes its minimum (the minimum estimates the noise floor;
+    scheduler jitter and CPU-frequency drift only ever inflate it, and
+    interleaving stops a slow stretch of the machine from landing
+    entirely on one side), after one untimed warm-up per side that
+    populates the dataset/preparation caches.
+    """
+
+    def run():
+        db = load_road_database()
+        generator = WorkloadGenerator(db, seed=7)
+        queries = generator.batch(30)
+
+        def workload(obs=None):
+            return run_workload(
+                db, queries, integrator=CascadeIntegrator(), obs=obs
+            )
+
+        workload()  # warm-up: dataset, eigendecomposition and r_theta caches
+        plain = workload()
+        observed_sink = Observability()
+        observed = workload(obs=observed_sink)
+        sink_holder = []
+
+        def observed_run():
+            sink = Observability()
+            sink_holder.append(sink)
+            workload(obs=sink)
+
+        off_seconds = on_seconds = float("inf")
+        for _ in range(8):
+            off_seconds = min(off_seconds, best_of(1, workload))
+            on_seconds = min(on_seconds, best_of(1, observed_run))
+        overhead = on_seconds / off_seconds - 1.0
+
+        table = ExperimentTable(
+            "Workload — 30 mixed queries, observability off vs on "
+            "(interleaved, best of 8)",
+            ["mode", "wall s", "overhead %"],
+        )
+        table.add_row("off", off_seconds, 0.0)
+        table.add_row("on (trace+metrics)", on_seconds, overhead * 100.0)
+        spans = sink_holder[-1].tracer.spans
+        table.note(
+            f"{len(spans)} spans, "
+            f"{len(sink_holder[-1].render_metrics().splitlines())} "
+            "exposition lines per instrumented run"
+        )
+        return table, plain, observed, observed_sink, overhead
+
+    table, plain, observed, sink, overhead = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report("workload_observability", table.render())
+    exposition = sink.render_metrics()
+    report("workload_observability_metrics", exposition)
+    extra_out = bench_metrics_out()
+    if extra_out:
+        Path(extra_out).write_text(exposition)
+    report_json(
+        "workload_observability",
+        {
+            "overhead_fraction": overhead,
+            "span_count": len(sink.tracer.spans),
+            "queries": len(plain.result_ids),
+        },
+    )
+
+    assert plain.result_ids == observed.result_ids, (
+        "observability changed query results"
+    )
+    assert overhead < 0.03, (
+        f"observability overhead {overhead * 100.0:.2f}% exceeds 3%"
     )
 
 

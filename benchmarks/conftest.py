@@ -11,7 +11,10 @@ Environment knobs:
   paper uses 5 for the 2-D tables and 10 for Table III);
 - ``REPRO_BENCH_SAMPLES`` — importance-sampling budget per candidate for
   the *timed* experiments (default 20,000; the paper uses 100,000 —
-  candidate counts are identical either way).
+  candidate counts are identical either way);
+- ``REPRO_BENCH_METRICS_OUT`` — when set to a path, benchmarks that run
+  with observability enabled additionally write their Prometheus-style
+  metrics exposition there (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -35,6 +38,11 @@ def bench_samples(default: int = 20_000) -> int:
 def bench_batch_queries(default: int = 200) -> int:
     """Batch size for the workload speedup benchmark (CI smoke shrinks it)."""
     return int(os.environ.get("REPRO_BENCH_BATCH_QUERIES", default))
+
+
+def bench_metrics_out() -> str | None:
+    """Optional extra path for the metrics exposition (env knob)."""
+    return os.environ.get("REPRO_BENCH_METRICS_OUT") or None
 
 
 def report(name: str, text: str) -> None:

@@ -66,6 +66,14 @@ from repro.integrate import (
     QuasiMonteCarloIntegrator,
 )
 from repro.catalog import BFCatalog, RThetaCatalog
+from repro.obs import (
+    CProfileHook,
+    MetricsRegistry,
+    Observability,
+    ProfilingHook,
+    Span,
+    Tracer,
+)
 
 __version__ = "1.0.0"
 
@@ -111,5 +119,11 @@ __all__ = [
     "AntitheticImportanceSampler",
     "BFCatalog",
     "RThetaCatalog",
+    "Observability",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "ProfilingHook",
+    "CProfileHook",
     "__version__",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "load_corel_points",
     "random_query_centers",
     "stopwatch",
+    "best_of",
     "ExperimentTable",
     "format_table",
 ]
@@ -41,6 +42,24 @@ def stopwatch():
     stop: list[float] = []
     yield lambda: (stop[0] if stop else time.perf_counter()) - start
     stop.append(time.perf_counter())
+
+
+def best_of(n: int, fn):
+    """Run ``fn`` ``n`` times and return its fastest wall time in seconds.
+
+    The standard noise-suppression shape for micro/overhead comparisons
+    (the minimum over repetitions estimates the noise floor, unlike the
+    mean, which scheduler jitter only ever inflates).  ``fn``'s return
+    value is discarded.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    best = math.inf
+    for _ in range(n):
+        with stopwatch() as elapsed:
+            fn()
+        best = min(best, elapsed())
+    return best
 
 
 def paper_sigma(gamma: float) -> np.ndarray:

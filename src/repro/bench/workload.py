@@ -202,6 +202,7 @@ def run_workload(
     integrator: ProbabilityIntegrator | None = None,
     workers: int | None = None,
     base_seed: int = 0,
+    obs=None,
 ) -> WorkloadReport:
     """Execute a query batch through one engine and aggregate statistics.
 
@@ -215,10 +216,14 @@ def run_workload(
     *vectorised* shared-batch sequential sampler (or per-query forks of
     ``integrator`` when one is supplied); per-query results are
     bit-identical for every worker count.
+
+    ``obs`` attaches a :class:`repro.obs.Observability` sink to the
+    engine(s): the whole workload lands in one trace/registry, and the
+    report is unchanged (observability never affects results).
     """
     report = WorkloadReport()
     if workers is not None:
-        engine = database.engine(strategies=strategies)
+        engine = database.engine(strategies=strategies, obs=obs)
         if integrator is not None:
             factory = lambda query, seed: integrator.fork(seed)  # noqa: E731
         else:
@@ -247,6 +252,7 @@ def run_workload(
             strategies=strategies,
             integrator=integrator
             or SequentialImportanceSampler(query.theta, max_samples=50_000),
+            obs=obs,
         )
         result = engine.execute(query)
         report.latencies.append(result.stats.total_seconds)

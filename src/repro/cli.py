@@ -22,6 +22,15 @@ Commands
     the complete report).
 ``figures``
     Render Figs. 13-17 and the road-network overview as SVG files.
+``trace``
+    Render a JSON-lines trace (written by ``query --trace-out``) as an
+    indented span tree plus a per-span-name summary table.
+
+Observability: ``query`` accepts ``--trace-out FILE`` (JSON-lines spans,
+viewable with ``repro trace FILE``) and ``--metrics-out FILE``
+(Prometheus-style text exposition).  Both are off by default and never
+change query results; the full telemetry contract lives in
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -82,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=0,
                        help="base seed for the per-query RNG streams of "
                        "--batch execution")
+    query.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the execution trace as JSON-lines spans "
+                       "(render with 'repro trace FILE')")
+    query.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the metrics registry as Prometheus-style "
+                       "text exposition")
 
     explain = commands.add_parser(
         "explain", help="show the query plan without integrating"
@@ -138,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="render the paper's figures as SVG"
     )
     figures.add_argument("output_dir", help="directory to write SVG files into")
+
+    trace = commands.add_parser(
+        "trace", help="render a JSON-lines trace from 'query --trace-out'"
+    )
+    trace.add_argument("file", help="JSON-lines trace file")
+    trace.add_argument("--min-ms", type=float, default=0.0,
+                       help="hide spans (and their subtrees) faster than "
+                       "this many milliseconds")
+    trace.add_argument("--max-spans", type=int, default=None,
+                       help="truncate the tree after this many lines")
+    trace.add_argument("--summary-only", action="store_true",
+                       help="print only the per-span-name aggregate table")
 
     return parser
 
@@ -196,6 +223,32 @@ def _make_integrator(choice: str | None, theta: float | None, seed: int):
     return SequentialImportanceSampler(theta, seed=seed, share_batches=True)
 
 
+def _make_obs(args):
+    """An Observability sink when --trace-out/--metrics-out asked for one."""
+    if args.trace_out is None and args.metrics_out is None:
+        return None
+    from repro.obs import Observability
+
+    return Observability(
+        trace=args.trace_out is not None,
+        metrics=args.metrics_out is not None,
+    )
+
+
+def _export_obs(obs, args) -> None:
+    """Write the requested trace/metrics files after a query command."""
+    if obs is None:
+        return
+    from pathlib import Path
+
+    if args.trace_out is not None:
+        count = obs.export_trace(args.trace_out)
+        print(f"wrote {count} spans to {args.trace_out}")
+    if args.metrics_out is not None:
+        Path(args.metrics_out).write_text(obs.render_metrics())
+        print(f"wrote metrics to {args.metrics_out}")
+
+
 def _cmd_query(args) -> int:
     from repro import Gaussian, SpatialDatabase
 
@@ -215,9 +268,10 @@ def _cmd_query(args) -> int:
     integrator = _make_integrator(
         _integrator_choice(args), args.theta, args.seed
     )
+    obs = _make_obs(args)
     result = db.probabilistic_range_query(
         gaussian, args.delta, args.theta,
-        strategies=args.strategies, integrator=integrator,
+        strategies=args.strategies, integrator=integrator, obs=obs,
     )
     print(f"{len(result)} objects qualify")
     print("ids:", " ".join(str(i) for i in result.ids))
@@ -227,6 +281,7 @@ def _cmd_query(args) -> int:
             f"{name}={count}"
             for name, count in sorted(result.stats.tier_decisions.items())
         ))
+    _export_obs(obs, args)
     return 0
 
 
@@ -265,10 +320,11 @@ def _run_query_batch(db, args) -> int:
             print(f"error: bad query spec #{i}: {exc}", file=sys.stderr)
             return 2
     choice = _integrator_choice(args)
+    obs = _make_obs(args)
     if choice == "sequential":
         # The adaptive sampler is tuned to each query's own θ, so the
         # batch path builds one integrator per query via the factory.
-        engine = db.engine(strategies=args.strategies)
+        engine = db.engine(strategies=args.strategies, obs=obs)
         factory = lambda query, seed: _make_integrator(  # noqa: E731
             choice, query.theta, seed
         )
@@ -276,6 +332,7 @@ def _run_query_batch(db, args) -> int:
         engine = db.engine(
             strategies=args.strategies,
             integrator=_make_integrator(choice, None, args.seed),
+            obs=obs,
         )
         factory = None
     batch = engine.run_batch(
@@ -291,6 +348,7 @@ def _run_query_batch(db, args) -> int:
             f"{name}={count}"
             for name, count in sorted(batch.stats.tier_decisions.items())
         ))
+    _export_obs(obs, args)
     return 0
 
 
@@ -437,6 +495,22 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.render import render_trace, summarize_trace
+    from repro.obs.tracer import Tracer
+
+    try:
+        spans = Tracer.load_jsonl(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read trace {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if not args.summary_only:
+        print(render_trace(spans, min_ms=args.min_ms, max_spans=args.max_spans))
+        print()
+    print(summarize_trace(spans))
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "query": _cmd_query,
@@ -445,6 +519,7 @@ _COMMANDS = {
     "dataset": _cmd_dataset,
     "experiment": _cmd_experiment,
     "figures": _cmd_figures,
+    "trace": _cmd_trace,
 }
 
 

@@ -117,6 +117,7 @@ class SpatialDatabase:
         sigma: np.ndarray | None = None,
         strategies: str | list[Strategy] = "all",
         integrator: ProbabilityIntegrator | None = None,
+        obs=None,
     ) -> QueryResult:
         """Run PRQ(q, δ, θ).
 
@@ -124,6 +125,7 @@ class SpatialDatabase:
         ``strategies`` is a spec string (``"rr"``, ``"bf"``, ``"rr+bf"``,
         ``"rr+or"``, ``"bf+or"``, ``"all"``), the adaptive ``"auto"``
         (cost-based planning per query), or an explicit strategy list.
+        ``obs`` is an optional :class:`repro.obs.Observability` sink.
         """
         if gaussian is None:
             if center is None or sigma is None:
@@ -132,7 +134,9 @@ class SpatialDatabase:
                 )
             gaussian = Gaussian(center, sigma)
         query = ProbabilisticRangeQuery(gaussian, delta, theta)
-        engine = self.engine(strategies=strategies, integrator=integrator)
+        engine = self.engine(
+            strategies=strategies, integrator=integrator, obs=obs
+        )
         return engine.execute(query)
 
     def engine(
@@ -141,6 +145,7 @@ class SpatialDatabase:
         strategies: str | list[Strategy] = "all",
         integrator: ProbabilityIntegrator | None = None,
         phase1: str = "intersect",
+        obs=None,
     ) -> QueryEngine:
         """A reusable engine (hold on to it when running many queries).
 
@@ -149,7 +154,9 @@ class SpatialDatabase:
         ``strategies="auto"`` attaches the database's shared
         :class:`QueryPlanner` so every query runs the cheapest plan under
         the planner's cost model (the "all" list remains as the fallback
-        for the helper entry points).
+        for the helper entry points).  ``obs`` attaches a
+        :class:`repro.obs.Observability` sink: spans and metrics for every
+        query the engine runs, with no effect on results.
         """
         planner = None
         if isinstance(strategies, str) and strategies.lower() == "auto":
@@ -167,6 +174,7 @@ class SpatialDatabase:
             integrator,
             phase1=phase1,
             planner=planner,
+            obs=obs,
         )
 
     def planner(self, **kwargs) -> QueryPlanner:

@@ -60,6 +60,7 @@ from repro.geometry.mbr import Rect
 from repro.index.base import SpatialIndex
 from repro.integrate.base import ProbabilityIntegrator
 from repro.integrate.importance import ImportanceSamplingIntegrator
+from repro.obs import Observability
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.planner import PlanChoice, QueryPlanner
@@ -220,6 +221,12 @@ class QueryEngine:
         the cheapest (strategy combo × phase-1 mode × integrator) under
         its cost model — and the predictions are recorded in the query's
         :class:`QueryStats`.
+    obs:
+        Optional :class:`repro.obs.Observability`.  When present, every
+        execution emits hierarchical spans (query → phase → integrator
+        tier) and feeds the metrics registry per the telemetry contract
+        in ``docs/observability.md``.  Observability is RNG-free, so
+        results are bit-identical with it on or off.
     """
 
     def __init__(
@@ -230,6 +237,7 @@ class QueryEngine:
         *,
         phase1: str = "intersect",
         planner: "QueryPlanner | None" = None,
+        obs: Observability | None = None,
     ):
         if not strategies:
             raise QueryError("at least one strategy is required")
@@ -246,9 +254,13 @@ class QueryEngine:
         #: do (the remaining strategies act purely as Phase-2 filters).
         self.phase1 = phase1
         self.planner = planner
+        self.obs = obs
 
     def execute(self, query: ProbabilisticRangeQuery) -> QueryResult:
-        return self._execute_with(query, self.strategies, self.integrator)
+        result = self._execute_with(query, self.strategies, self.integrator)
+        if self.obs is not None and self.planner is not None:
+            self.planner.publish_metrics(self.obs)
+        return result
 
     def run(
         self,
@@ -299,27 +311,59 @@ class QueryEngine:
             raise QueryError(f"workers must be >= 1, got {workers}")
         queries = list(queries)
         seeds = np.random.SeedSequence(base_seed).spawn(len(queries))
+        obs = self.obs
+        # Lock-free observability: each query records into its own child
+        # tracer/registry; the children are absorbed in *input order*
+        # after the pool drains, so traces and metrics are deterministic
+        # regardless of completion order (and never contended).
+        children = (
+            [obs.child() for _ in queries] if obs is not None else None
+        )
 
         def task(pair) -> QueryResult:
-            query, seed = pair
+            i, query, seed = pair
             strategies = [s.clone() for s in self.strategies]
             if integrator_factory is not None:
                 integrator = integrator_factory(query, seed)
             else:
                 integrator = self.integrator.fork(seed)
-            return self._execute_with(query, strategies, integrator, seed=seed)
+            child = children[i] if children is not None else None
+            return self._execute_with(
+                query, strategies, integrator, seed=seed, obs=child
+            )
 
+        batch_span = (
+            obs.span("batch", queries=len(queries), workers=workers)
+            if obs is not None
+            else None
+        )
         start = time.perf_counter()
-        if workers == 1 or len(queries) <= 1:
-            results = [task(pair) for pair in zip(queries, seeds)]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(task, zip(queries, seeds)))
+        pairs = [(i, q, s) for i, (q, s) in enumerate(zip(queries, seeds))]
+        if batch_span is not None:
+            batch_span.__enter__()
+        try:
+            if workers == 1 or len(queries) <= 1:
+                results = [task(pair) for pair in pairs]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(task, pairs))
+        finally:
+            if batch_span is not None:
+                batch_span.__exit__(None, None, None)
         wall = time.perf_counter() - start
 
         batch = BatchStats(workers=workers, wall_seconds=wall)
         for result in results:
             batch.merge(result.stats)
+        if obs is not None:
+            for child in children:
+                obs.absorb(
+                    child,
+                    parent=batch_span.span if batch_span is not None else None,
+                )
+            obs.record_batch(batch)
+            if self.planner is not None:
+                self.planner.publish_metrics(obs)
         return BatchResult(tuple(results), batch)
 
     def prepare_search(
@@ -353,8 +397,11 @@ class QueryEngine:
             stats,
             candidate_ids=np.asarray(candidate_ids),
             points=points,
+            obs=self.obs,
         )
         ids = execute_pipeline(ctx, [FilterStage(), IntegrateStage()])
+        if self.obs is not None:
+            self.obs.record_query(stats)
         return QueryResult(ids, stats)
 
     # ------------------------------------------------------------------
@@ -371,21 +418,57 @@ class QueryEngine:
         integrator: ProbabilityIntegrator,
         *,
         seed: np.random.SeedSequence | None = None,
+        obs: Observability | None = None,
     ) -> QueryResult:
+        obs = obs if obs is not None else self.obs
         stats = QueryStats()
         phase1 = self.phase1
-        if self.planner is not None:
-            with stats.time_phase("plan"):
-                strategies, integrator, phase1 = self._apply_plan(
-                    query, integrator, stats, seed
+        query_span = (
+            obs.span("query", delta=query.delta, theta=query.theta)
+            if obs is not None
+            else None
+        )
+        if query_span is not None:
+            query_span.__enter__()
+        try:
+            if self.planner is not None:
+                with stats.time_phase("plan"):
+                    plan_span = (
+                        obs.span("phase:plan") if obs is not None else None
+                    )
+                    if plan_span is not None:
+                        plan_span.__enter__()
+                    try:
+                        strategies, integrator, phase1 = self._apply_plan(
+                            query, integrator, stats, seed
+                        )
+                    finally:
+                        if plan_span is not None:
+                            plan_span.annotate(
+                                strategies="+".join(
+                                    stats.plan_strategies or ()
+                                ),
+                                phase1=stats.plan_phase1,
+                                cache_hit=bool(stats.plan_cache_hit),
+                            )
+                            plan_span.__exit__(None, None, None)
+            ctx = StageContext(query, strategies, integrator, stats, obs=obs)
+            stages = [
+                SearchStage(self.index, phase1=phase1),
+                FilterStage(),
+                IntegrateStage(),
+            ]
+            ids = execute_pipeline(ctx, stages)
+        finally:
+            if query_span is not None:
+                query_span.annotate(
+                    retrieved=stats.retrieved,
+                    integrations=stats.integrations,
+                    results=stats.results,
                 )
-        ctx = StageContext(query, strategies, integrator, stats)
-        stages = [
-            SearchStage(self.index, phase1=phase1),
-            FilterStage(),
-            IntegrateStage(),
-        ]
-        ids = execute_pipeline(ctx, stages)
+                query_span.__exit__(None, None, None)
+        if obs is not None:
+            obs.record_query(stats)
         return QueryResult(ids, stats)
 
     def _apply_plan(

@@ -292,6 +292,37 @@ class QueryPlanner:
         with self._lock:
             self._cache.clear()
 
+    def publish_metrics(self, obs) -> None:
+        """Snapshot plan-cache state into an Observability sink's gauges.
+
+        Sets ``repro_planner_cache_hits`` / ``_misses`` / ``_entries`` /
+        ``_size`` (see ``docs/observability.md``).  The engine calls this
+        once per ``execute``/``run_batch`` when observability is enabled;
+        per-decision hit/miss *counters* and prediction-error histograms
+        are instead derived from :class:`~repro.core.stats.QueryStats` in
+        ``Observability.record_query``.
+        """
+        if obs is None or obs.metrics is None:
+            return
+        info = self.cache_info()
+        registry = obs.metrics
+        registry.gauge(
+            "repro_planner_cache_hits",
+            "Plan-cache hits since planner construction.",
+        ).set(info["hits"])
+        registry.gauge(
+            "repro_planner_cache_misses",
+            "Plan-cache misses since planner construction.",
+        ).set(info["misses"])
+        registry.gauge(
+            "repro_planner_cache_entries",
+            "Plans currently resident in the cache.",
+        ).set(info["currsize"])
+        registry.gauge(
+            "repro_planner_cache_size",
+            "Configured plan-cache capacity.",
+        ).set(info["maxsize"])
+
     # ------------------------------------------------------------------
     # Quantization: cache key <-> canonical query
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.errors import QueryError
 from repro.geometry.mbr import Rect
 from repro.index.base import SpatialIndex
 from repro.integrate.base import ProbabilityIntegrator
+from repro.obs import Observability
 
 __all__ = [
     "StageContext",
@@ -62,6 +63,10 @@ class StageContext:
     #: Boolean mask over ``candidate_ids`` of rows still undecided.
     undecided: np.ndarray | None = None
     finished: bool = False
+    #: Optional observability sink: when set, :func:`execute_pipeline`
+    #: wraps every stage in a ``phase:<name>`` span and the integrator
+    #: may emit tier spans beneath it.  Never affects results.
+    obs: Observability | None = None
 
 
 class Stage(abc.ABC):
@@ -194,9 +199,21 @@ class IntegrateStage(Stage):
         if not to_integrate.size:
             return
         query = ctx.query
-        accept, _, estimates = ctx.integrator.decide(
-            query.gaussian, ctx.points[to_integrate], query.delta, query.theta
-        )
+        if ctx.obs is not None:
+            # Hand the sink to the integrator for the duration of the
+            # call so tier-aware backends (the cascade) can emit
+            # ``tier:*`` child spans under this phase's span.
+            ctx.integrator.obs = ctx.obs
+        try:
+            accept, _, estimates = ctx.integrator.decide(
+                query.gaussian,
+                ctx.points[to_integrate],
+                query.delta,
+                query.theta,
+            )
+        finally:
+            if ctx.obs is not None:
+                ctx.integrator.obs = None
         for slot, result, is_accept in zip(to_integrate, estimates, accept):
             ctx.stats.integration_samples += result.n_samples
             ctx.stats.note_decision(result.method)
@@ -229,6 +246,15 @@ def combined_search_rect(
     return rect
 
 
+#: Per-stage span payload: phase name -> QueryStats fields worth carrying
+#: on the ``phase:<name>`` span (part of the telemetry contract).
+_SPAN_COUNTERS = {
+    "search": ("retrieved",),
+    "filter": ("accepted_without_integration",),
+    "integrate": ("integrations", "integration_samples"),
+}
+
+
 def execute_pipeline(
     ctx: StageContext, stages: list[Stage]
 ) -> tuple[int, ...]:
@@ -236,13 +262,26 @@ def execute_pipeline(
 
     Each stage's wall time accumulates under its ``phase`` label; a stage
     setting ``ctx.finished`` short-circuits the rest.  This is the single
-    driver behind every engine entry point.
+    driver behind every engine entry point.  With ``ctx.obs`` set, every
+    stage additionally runs inside a ``phase:<name>`` span carrying its
+    headline counters.
     """
+    obs = ctx.obs
     for stage in stages:
         if ctx.finished:
             break
         with ctx.stats.time_phase(stage.phase):
-            stage.run(ctx)
+            if obs is None:
+                stage.run(ctx)
+            else:
+                with obs.span(f"phase:{stage.phase}") as span:
+                    stage.run(ctx)
+                    span.annotate(
+                        **{
+                            name: getattr(ctx.stats, name)
+                            for name in _SPAN_COUNTERS.get(stage.phase, ())
+                        }
+                    )
     ids = tuple(int(i) for i in sorted(ctx.accepted))
     ctx.stats.results = len(ids)
     return ids

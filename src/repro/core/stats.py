@@ -28,6 +28,12 @@ class QueryStats:
     accepted_without_integration: int = 0
     integrations: int = 0
     results: int = 0
+    #: Wall time per pipeline stage, keyed by the stage's phase label.
+    #: A planned (``strategies="auto"``) engine adds ``"plan"`` ahead of
+    #: the pipeline's own ``"search"``/``"filter"``/``"integrate"``;
+    #: other callers of :meth:`time_phase` may introduce further keys.
+    #: ``Observability.record_query`` folds each entry into the
+    #: ``repro_phase_seconds{phase=...}`` histogram (docs/observability.md).
     phase_seconds: dict[str, float] = field(default_factory=dict)
     integration_samples: int = 0
     #: Phase-3 decisions keyed by the deciding evaluator's method label —
@@ -52,7 +58,14 @@ class QueryStats:
 
     @contextmanager
     def time_phase(self, phase: str):
-        """Accumulate wall time under ``phase`` ('search'/'filter'/'integrate')."""
+        """Accumulate wall time into ``phase_seconds[phase]``.
+
+        The engine uses the stage labels ``'search'``/``'filter'``/
+        ``'integrate'`` plus ``'plan'`` when a cost-based planner runs;
+        the label set is open — whatever key is passed becomes a
+        ``phase_seconds`` entry (and a ``phase`` label value in the
+        exported metrics).
+        """
         start = time.perf_counter()
         try:
             yield

@@ -31,6 +31,12 @@ class ProbabilityIntegrator(abc.ABC):
     #: Short identifier used in reports and IntegrationResult.method.
     name: str = "abstract"
 
+    #: Observability sink, attached by the engine's Phase 3 for the
+    #: duration of a ``decide`` call (and cleared afterwards) so tier-aware
+    #: backends can emit ``tier:*`` spans.  Always ``None`` outside the
+    #: engine; implementations must treat it as optional and read-only.
+    obs = None
+
     @abc.abstractmethod
     def qualification_probability(
         self, gaussian: Gaussian, point: np.ndarray, delta: float

@@ -42,6 +42,7 @@ from repro.gaussian.quadform import (
 )
 from repro.integrate.base import ProbabilityIntegrator
 from repro.integrate.result import IntegrationResult
+from repro.obs import NULL_SPAN
 
 __all__ = ["CascadeIntegrator"]
 
@@ -134,43 +135,68 @@ class CascadeIntegrator(ProbabilityIntegrator):
             return empty, empty, []
         if not np.isfinite(delta) or delta < 0:
             raise IntegrationError(f"delta must be finite and >= 0, got {delta}")
+        obs = self.obs
         lower = np.zeros(m)
         upper = np.ones(m)
         tier = np.full(m, TIER_IMHOF, dtype=object)
 
         # Tier 1: one vectorised noncentral-χ² call for the whole block.
-        bounds = chi2_sandwich_bounds_block(gaussian, pts, delta)
-        lower, upper = bounds[:, 0].copy(), bounds[:, 1].copy()
-        decided = self._decided(lower, upper, theta)
-        tier[decided] = TIER_SANDWICH
+        with (
+            obs.span("tier:sandwich") if obs is not None else NULL_SPAN
+        ) as span:
+            bounds = chi2_sandwich_bounds_block(gaussian, pts, delta)
+            lower, upper = bounds[:, 0].copy(), bounds[:, 1].copy()
+            decided = self._decided(lower, upper, theta)
+            tier[decided] = TIER_SANDWICH
+            if obs is not None:
+                span.annotate(
+                    candidates=m, decided=int(np.count_nonzero(decided))
+                )
 
         # Tier 2: batched Ruben over the survivors, shared tables.
         undecided = np.nonzero(~decided)[0]
         if undecided.size:
-            weights, ncs = GaussianQuadraticForm.squared_distance_spectrum(
-                gaussian, pts[undecided]
-            )
-            lo2, hi2, ok2 = ruben_series_block(
-                weights,
-                np.ones_like(weights),
-                ncs,
-                delta * delta,
-                theta=theta,
-                tol=self.tol,
-                max_terms=self.max_terms,
-            )
-            # Ruben bounds only ever tighten the sandwich interval.
-            take = np.nonzero(ok2)[0]
-            rows = undecided[take]
-            lower[rows] = np.maximum(lower[rows], lo2[take])
-            upper[rows] = np.minimum(upper[rows], hi2[take])
-            tier[rows] = TIER_RUBEN
+            with (
+                obs.span("tier:ruben") if obs is not None else NULL_SPAN
+            ) as span:
+                weights, ncs = GaussianQuadraticForm.squared_distance_spectrum(
+                    gaussian, pts[undecided]
+                )
+                lo2, hi2, ok2 = ruben_series_block(
+                    weights,
+                    np.ones_like(weights),
+                    ncs,
+                    delta * delta,
+                    theta=theta,
+                    tol=self.tol,
+                    max_terms=self.max_terms,
+                )
+                # Ruben bounds only ever tighten the sandwich interval.
+                take = np.nonzero(ok2)[0]
+                rows = undecided[take]
+                lower[rows] = np.maximum(lower[rows], lo2[take])
+                upper[rows] = np.minimum(upper[rows], hi2[take])
+                tier[rows] = TIER_RUBEN
+                if obs is not None:
+                    span.annotate(
+                        candidates=int(undecided.size),
+                        decided=int(take.size),
+                    )
 
             # Tier 3: scalar Imhof for underflow/non-convergence leftovers.
-            for row in undecided[~ok2]:
-                form = GaussianQuadraticForm.squared_distance(gaussian, pts[row])
-                value = imhof_cdf(form, delta * delta)
-                lower[row] = upper[row] = value
+            leftovers = undecided[~ok2]
+            if leftovers.size:
+                with (
+                    obs.span("tier:imhof") if obs is not None else NULL_SPAN
+                ) as span:
+                    for row in leftovers:
+                        form = GaussianQuadraticForm.squared_distance(
+                            gaussian, pts[row]
+                        )
+                        value = imhof_cdf(form, delta * delta)
+                        lower[row] = upper[row] = value
+                    if obs is not None:
+                        span.annotate(candidates=int(leftovers.size))
 
         return self._pack(lower, upper, tier, theta)
 

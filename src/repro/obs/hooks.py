@@ -1,0 +1,113 @@
+"""Profiling hooks: observe span lifecycles without patching the engine.
+
+A :class:`ProfilingHook` is anything with ``on_span_start(span)`` and
+``on_span_end(span)``; attach instances via
+``Observability(hooks=[...])`` (or directly to a :class:`Tracer`) and the
+tracer calls them around every span.  Hooks run on the thread that owns
+the span, so a hook wrapping a thread-local profiler composes naturally
+with ``run_batch``.
+
+:class:`CProfileHook` is the batteries-included example: it runs
+:mod:`cProfile` over every span whose name matches a prefix, which is how
+you get a function-level profile of, say, only Phase 3 without touching
+engine code::
+
+    hook = CProfileHook("phase:integrate")
+    obs = Observability(trace=True, hooks=[hook])
+    engine = db.engine(strategies="all", obs=obs)
+    engine.execute(query)
+    hook.print_stats()          # cProfile output for Phase 3 only
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Span
+
+__all__ = ["ProfilingHook", "CProfileHook"]
+
+
+@runtime_checkable
+class ProfilingHook(Protocol):
+    """The span-lifecycle protocol custom sinks implement."""
+
+    def on_span_start(self, span: "Span") -> None:
+        """Called when a span opens (before the timed body runs)."""
+
+    def on_span_end(self, span: "Span") -> None:
+        """Called when a span closes (timings and payload are final)."""
+
+
+class CProfileHook:
+    """Profile every span whose name starts with ``span_prefix``.
+
+    Uses one :class:`cProfile.Profile` per thread (cProfile is not
+    re-entrant across threads) and accumulates all matching spans into
+    one set of statistics.  ``nested=False`` (default) ignores matching
+    spans opened while a profiled span is already active on the same
+    thread, so ``span_prefix=""`` profiles whole query trees without
+    double-enabling.
+    """
+
+    def __init__(self, span_prefix: str = "", *, nested: bool = False):
+        import threading
+
+        self.span_prefix = span_prefix
+        self.nested = nested
+        self._local = threading.local()
+        self._profiles: list = []
+        self._lock = threading.Lock()
+
+    def _state(self):
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = self._local.state = {"profile": None, "depth": 0}
+        return state
+
+    def on_span_start(self, span: "Span") -> None:
+        if not span.name.startswith(self.span_prefix):
+            return
+        state = self._state()
+        state["depth"] += 1
+        if state["depth"] > 1 and not self.nested:
+            return
+        import cProfile
+
+        profile = cProfile.Profile()
+        with self._lock:
+            self._profiles.append(profile)
+        state["profile"] = profile
+        profile.enable()
+
+    def on_span_end(self, span: "Span") -> None:
+        if not span.name.startswith(self.span_prefix):
+            return
+        state = self._state()
+        if state["depth"] == 0:
+            return
+        state["depth"] -= 1
+        if state["depth"] == 0 and state["profile"] is not None:
+            state["profile"].disable()
+            state["profile"] = None
+
+    def stats(self, sort: str = "cumulative"):
+        """A merged :class:`pstats.Stats` over every profiled span."""
+        import io
+        import pstats
+
+        if not self._profiles:
+            raise ValueError("no spans were profiled")
+        stats = pstats.Stats(self._profiles[0], stream=io.StringIO())
+        for profile in self._profiles[1:]:
+            stats.add(profile)
+        return stats.sort_stats(sort)
+
+    def print_stats(self, limit: int = 20, sort: str = "cumulative") -> None:
+        import pstats
+        import sys
+
+        stats = self.stats(sort)
+        stats.stream = sys.stdout  # type: ignore[attr-defined]
+        pstats.Stats.print_stats(stats, limit)

@@ -1,0 +1,244 @@
+"""Hierarchical span tracing for the query pipeline.
+
+A :class:`Tracer` records :class:`Span` trees — query → phase → integrator
+tier — with wall *and* CPU time plus a free-form counter payload, and
+exports them as JSON-lines for the ``repro trace`` renderer.  Like the
+metrics registry it is deliberately boring: no RNG, no global state, no
+threads of its own, so tracing can never change engine results.
+
+Thread model: each span stack is thread-local (the ``run_batch`` worker
+pool runs several queries concurrently), but ``run_batch`` normally gives
+every query its own child tracer and merges them in input order, so the
+exported span list is deterministic up to the recorded durations.
+
+Example — nesting and the JSON-lines export::
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("query", theta=0.05):
+    ...     with tracer.span("phase:search"):
+    ...         pass
+    ...     with tracer.span("phase:integrate", candidates=7):
+    ...         pass
+    >>> [s.name for s in tracer.spans]
+    ['phase:search', 'phase:integrate', 'query']
+    >>> root = tracer.spans[-1]
+    >>> root.parent_id is None and root.attributes["theta"] == 0.05
+    True
+    >>> tracer.spans[1].attributes
+    {'candidates': 7}
+    >>> tracer.spans[0].parent_id == root.span_id
+    True
+
+Attaching a :class:`~repro.obs.hooks.ProfilingHook`::
+
+    >>> events = []
+    >>> class Recorder:
+    ...     def on_span_start(self, span):
+    ...         events.append(("start", span.name))
+    ...     def on_span_end(self, span):
+    ...         events.append(("end", span.name))
+    >>> tracer = Tracer(hooks=[Recorder()])
+    >>> with tracer.span("query"):
+    ...     pass
+    >>> events
+    [('start', 'query'), ('end', 'query')]
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.hooks import ProfilingHook
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed, attributed node of a trace tree.
+
+    ``wall_seconds``/``cpu_seconds`` are filled in when the span closes;
+    ``attributes`` holds the counter payload (candidate counts, tier
+    decisions, plan choices — whatever the instrumented code attaches).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    #: Wall-clock start relative to the tracer's epoch, seconds.
+    start: float = 0.0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    attributes: dict = field(default_factory=dict)
+
+    def annotate(self, **attributes) -> None:
+        """Attach (or overwrite) counter payload entries."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict:
+        record: dict = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": round(self.start, 9),
+            "wall_seconds": round(self.wall_seconds, 9),
+            "cpu_seconds": round(self.cpu_seconds, 9),
+        }
+        if self.attributes:
+            record["attributes"] = self.attributes
+        return record
+
+
+class _SpanHandle:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span", "_cpu_start")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+        self._cpu_start = 0.0
+
+    def annotate(self, **attributes) -> None:
+        self.span.annotate(**attributes)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._cpu_start = time.process_time()
+        self.span.start = time.perf_counter() - self._tracer._epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span = self.span
+        span.wall_seconds = (
+            time.perf_counter() - self._tracer._epoch - span.start
+        )
+        span.cpu_seconds = time.process_time() - self._cpu_start
+        self._tracer._finish(span)
+
+
+class Tracer:
+    """Collects hierarchical spans; exportable as JSON-lines.
+
+    Spans are appended to the tracer's buffer as they *close* (children
+    before parents, as in every post-order trace format); the parent
+    linkage reconstructs the tree.  ``hooks`` are
+    :class:`~repro.obs.hooks.ProfilingHook` objects notified on every
+    span start/end.
+    """
+
+    def __init__(self, *, hooks: Sequence["ProfilingHook"] = ()):
+        self.hooks = list(hooks)
+        self._spans: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attributes) -> _SpanHandle:
+        """Open a span under the current thread's innermost open span."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(
+            name, span_id, parent_id=parent_id, attributes=dict(attributes)
+        )
+        stack.append(span)
+        for hook in self.hooks:
+            hook.on_span_start(span)
+        return _SpanHandle(self, span)
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._spans.append(span)
+        for hook in self.hooks:
+            hook.on_span_end(span)
+
+    # -- reading / exporting -------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Every closed span, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def merge(self, other: "Tracer") -> None:
+        """Adopt a child tracer's spans, re-basing ids to stay unique.
+
+        ``run_batch`` merges per-query child tracers in input order, so
+        the combined buffer is deterministic regardless of completion
+        order.  The child's relative timestamps are shifted onto this
+        tracer's epoch so ``repro trace`` shows one consistent timeline.
+        """
+        child_spans = other.spans
+        if not child_spans:
+            return
+        with self._lock:
+            offset = self._next_id
+            self._next_id += max(s.span_id for s in child_spans) + 1
+            shift = other._epoch - self._epoch
+            for span in child_spans:
+                span.span_id += offset
+                if span.parent_id is not None:
+                    span.parent_id += offset
+                span.start += shift
+                self._spans.append(span)
+
+    def export_jsonl(self, path) -> int:
+        """Write one JSON object per span; returns the span count."""
+        spans = self.spans
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+    @staticmethod
+    def load_jsonl(path) -> list[Span]:
+        """Read spans back from a JSON-lines trace file."""
+        spans: list[Span] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                spans.append(
+                    Span(
+                        name=record["name"],
+                        span_id=record["span_id"],
+                        parent_id=record.get("parent_id"),
+                        start=record.get("start", 0.0),
+                        wall_seconds=record.get("wall_seconds", 0.0),
+                        cpu_seconds=record.get("cpu_seconds", 0.0),
+                        attributes=record.get("attributes", {}),
+                    )
+                )
+        return spans
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def __len__(self) -> int:
+        return len(self.spans)

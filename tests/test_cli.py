@@ -146,3 +146,106 @@ class TestExperiment:
         assert main(["experiment", "regions"]) == 0
         out = capsys.readouterr().out
         assert "23.4" in out  # the Fig. 13 half-width anchor
+
+
+class TestObservabilityCLI:
+    """`repro query --trace-out/--metrics-out` and `repro trace`."""
+
+    @pytest.fixture()
+    def db_path(self, tmp_path):
+        path = str(tmp_path / "data.npz")
+        assert main(["dataset", "uniform", path, "--size", "400"]) == 0
+        return path
+
+    def test_query_writes_trace_and_metrics(self, db_path, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.txt"
+        assert main([
+            "query", db_path,
+            "--center", "500", "500", "--sigma-scale", "900",
+            "--delta", "60", "--theta", "0.3",
+            "--strategies", "auto", "--integrator", "cascade",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "objects qualify" in out
+        assert f"wrote metrics to {metrics}" in out
+
+        from repro.obs import Tracer
+
+        names = {s.name for s in Tracer.load_jsonl(trace)}
+        # The acceptance bar: all three phases plus the planner span.
+        assert {"query", "phase:plan", "phase:search", "phase:filter",
+                "phase:integrate"} <= names
+
+        text = metrics.read_text()
+        assert "repro_queries_total 1" in text
+        assert "repro_planner_cache_misses 1" in text
+        assert 'repro_planner_plans_total{cache="miss"} 1' in text
+        assert 'repro_phase_seconds_count{phase="plan"} 1' in text
+
+    def test_query_cascade_tier_metrics(self, db_path, tmp_path):
+        metrics = tmp_path / "m.txt"
+        assert main([
+            "query", db_path,
+            "--center", "500", "500", "--sigma-scale", "900",
+            "--delta", "60", "--theta", "0.3",
+            "--strategies", "rr", "--integrator", "cascade",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        text = metrics.read_text()
+        assert 'repro_phase3_decisions_total{method="cascade-' in text
+
+    def test_trace_command_renders_tree(self, db_path, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main([
+            "query", db_path,
+            "--center", "500", "500", "--sigma-scale", "900",
+            "--delta", "60", "--theta", "0.05",
+            "--strategies", "all", "--exact",
+            "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "query" in out and "phase:search" in out
+        assert "total ms" in out  # the summary table
+
+        assert main(["trace", str(trace), "--summary-only"]) == 0
+        out = capsys.readouterr().out
+        assert "phase:" in out and "wall=" not in out
+
+    def test_trace_rejects_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["trace", str(tmp_path / "missing.jsonl")]) == 2
+
+    def test_batch_query_with_observability(self, db_path, tmp_path, capsys):
+        import json
+
+        batch_file = tmp_path / "batch.json"
+        batch_file.write_text(json.dumps([
+            {"center": [500, 500], "delta": 60, "theta": 0.05},
+            {"center": [250, 250], "delta": 40, "theta": 0.1},
+        ]))
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.txt"
+        assert main([
+            "query", db_path, "--sigma-scale", "900",
+            "--batch", str(batch_file), "--workers", "2",
+            "--strategies", "auto", "--integrator", "cascade",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch:" in out
+
+        from repro.obs import Tracer
+
+        spans = Tracer.load_jsonl(trace)
+        assert sum(s.name == "batch" for s in spans) == 1
+        assert sum(s.name == "query" for s in spans) == 2
+        text = metrics.read_text()
+        assert "repro_batch_queries_total 2" in text
+        assert "repro_batch_workers 2" in text

@@ -1,0 +1,49 @@
+"""Docs drift guard: the public API must be documented.
+
+Every name exported from ``repro.__init__`` (``repro.__all__``) has to
+appear in ``docs/api.md`` — by name, anywhere in the page.  The check is
+deliberately a substring test, not a structural one: it cannot rot when
+the docs are reorganised, but it does fail the moment someone exports a
+new symbol without documenting it (or renames one without updating the
+docs).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+@pytest.fixture(scope="module")
+def api_doc() -> str:
+    path = DOCS / "api.md"
+    assert path.is_file(), "docs/api.md is missing"
+    return path.read_text()
+
+
+@pytest.mark.parametrize("name", sorted(n for n in repro.__all__ if n != "__version__"))
+def test_exported_name_is_documented(api_doc, name):
+    assert name in api_doc, (
+        f"repro.{name} is exported from repro.__init__ but never mentioned "
+        f"in docs/api.md — document it (or stop exporting it)"
+    )
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+def test_observability_doc_cross_links():
+    """The telemetry contract must stay linked from the doc hub pages."""
+    obs_doc = DOCS / "observability.md"
+    assert obs_doc.is_file(), "docs/observability.md is missing"
+    for hub in ("api.md", "architecture.md"):
+        text = (DOCS / hub).read_text()
+        assert "observability.md" in text, f"docs/{hub} lost its observability link"
+    assert "Measuring the paper's claims" in (DOCS / "paper_mapping.md").read_text()
