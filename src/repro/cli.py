@@ -25,6 +25,11 @@ Commands
 ``trace``
     Render a JSON-lines trace (written by ``query --trace-out``) as an
     indented span tree plus a per-span-name summary table.
+``serve``
+    Run the embedded query service (:mod:`repro.serve`) over a JSON-lines
+    request stream (file or stdin): requests are admitted, micro-batched
+    and answered one JSON response per line on stdout, with the service
+    counters summarised on stderr.  See ``docs/serving.md``.
 
 Observability: ``query`` accepts ``--trace-out FILE`` (JSON-lines spans,
 viewable with ``repro trace FILE``) and ``--metrics-out FILE``
@@ -153,6 +158,46 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="render the paper's figures as SVG"
     )
     figures.add_argument("output_dir", help="directory to write SVG files into")
+
+    serve = commands.add_parser(
+        "serve", help="run the embedded query service over JSON-lines requests"
+    )
+    serve.add_argument("database", help=".npz file from SpatialDatabase.save")
+    serve.add_argument("--requests", default="-", metavar="FILE",
+                       help="JSON-lines request file ('-' = stdin, default); "
+                       'each line: {"center": [...], "delta": d, "theta": t, '
+                       '"sigma_scale": s?, "deadline_ms": ms?, "priority": p?, '
+                       '"id": any?}')
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="largest coalesced micro-batch per drain")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="batch window: how long a drain waits after the "
+                       "first request for more to coalesce")
+    serve.add_argument("--queue-size", type=int, default=256,
+                       help="admission-queue bound; requests beyond it are "
+                       "answered 'overloaded' immediately")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads per coalesced run_batch call")
+    serve.add_argument("--strategies", default="all",
+                       help="strategy spec or 'auto' for cost-based planning")
+    serve.add_argument("--integrator", default="cascade",
+                       choices=["importance", "exact", "cascade"],
+                       help="Phase-3 evaluator (default: the deterministic "
+                       "cascade — responses are then bit-identical to direct "
+                       "run_batch execution)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="result-cache capacity (0 disables caching)")
+    serve.add_argument("--no-degrade", action="store_true",
+                       help="never degrade deadline-pressed requests; they "
+                       "run fully and may miss their deadlines")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for sampling integrators (per-request "
+                       "streams are still fingerprint-derived)")
+    serve.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the service trace as JSON-lines spans")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the metrics registry as Prometheus-style "
+                       "text exposition")
 
     trace = commands.add_parser(
         "trace", help="render a JSON-lines trace from 'query --trace-out'"
@@ -495,6 +540,93 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _parse_serve_request(spec: dict, dim: int, line_no: int):
+    """Build one PRQRequest from a JSON-lines spec (raises ValueError)."""
+    from repro import Gaussian
+    from repro.serve import PRQRequest
+
+    center = np.asarray(spec["center"], dtype=float)
+    if "sigma" in spec:
+        sigma = np.asarray(spec["sigma"], dtype=float)
+    else:
+        sigma = float(spec.get("sigma_scale", 1.0)) * np.eye(dim)
+    deadline = spec.get("deadline_ms")
+    return PRQRequest(
+        Gaussian(center, sigma),
+        float(spec["delta"]),
+        float(spec["theta"]),
+        deadline=None if deadline is None else float(deadline) / 1e3,
+        priority=int(spec.get("priority", 0)),
+        request_id=spec.get("id", line_no),
+    )
+
+
+def _cmd_serve(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro import SpatialDatabase
+    from repro.errors import ReproError
+    from repro.serve import STATUS_FAILED
+
+    db = SpatialDatabase.load(args.database)
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            lines = Path(args.requests).read_text().splitlines()
+        except OSError as exc:
+            print(f"error: cannot read requests from {args.requests}: {exc}",
+                  file=sys.stderr)
+            return 2
+    obs = _make_obs(args)
+    integrator = _make_integrator(args.integrator, None, args.seed)
+    service = db.serve(
+        max_queue=args.queue_size,
+        max_batch=args.max_batch,
+        batch_window=args.window_ms / 1e3,
+        workers=args.workers,
+        strategies=args.strategies,
+        integrator=integrator,
+        cache_size=args.cache_size,
+        degrade=not args.no_degrade,
+        obs=obs,
+    )
+    # Each handle is either a response future or, for a malformed line,
+    # the ready-made failure row — output stays one line per request, in
+    # submission order, and a bad line never kills the service.
+    handles = []
+    with service:
+        for line_no, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = _parse_serve_request(
+                    json.loads(line), db.dim, line_no
+                )
+            except (KeyError, TypeError, ValueError, ReproError) as exc:
+                handles.append({"id": line_no, "status": STATUS_FAILED,
+                                "error": f"bad request: {exc}"})
+                continue
+            handles.append(service.submit(request))
+        for handle in handles:
+            row = handle if isinstance(handle, dict) else (
+                handle.result().to_dict()
+            )
+            print(json.dumps(row), flush=True)
+    print("summary:", json.dumps(service.stats()), file=sys.stderr)
+    # stdout is the response stream, so export notices go to stderr.
+    if obs is not None:
+        if args.trace_out is not None:
+            count = obs.export_trace(args.trace_out)
+            print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)
+        if args.metrics_out is not None:
+            Path(args.metrics_out).write_text(obs.render_metrics())
+            print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.render import render_trace, summarize_trace
     from repro.obs.tracer import Tracer
@@ -519,6 +651,7 @@ _COMMANDS = {
     "dataset": _cmd_dataset,
     "experiment": _cmd_experiment,
     "figures": _cmd_figures,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

@@ -25,7 +25,7 @@ from repro.core.query import ProbabilisticRangeQuery
 from repro.core.selectivity import SelectivityEstimator
 from repro.core.strategies import Strategy, make_strategies
 from repro.geometry.mbr import Rect
-from repro.errors import QueryError
+from repro.errors import DatabaseLoadError, QueryError
 from repro.gaussian.distribution import Gaussian
 from repro.index.base import SpatialIndex
 from repro.index.rtree import RStarTree
@@ -278,6 +278,29 @@ class SpatialDatabase:
             theta = max(theta * theta, 1e-12)  # enlarge geometrically
 
     # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def serve(self, config=None, **knobs):
+        """Start an embedded :class:`repro.serve.QueryService` over this
+        database.
+
+        The service owns a warm engine plus a scheduler thread that
+        coalesces concurrent :class:`repro.serve.PRQRequest` submissions
+        into micro-batches, with admission control, deadline-aware
+        degradation and a keyed result cache (see ``docs/serving.md``).
+        Pass a :class:`repro.serve.ServiceConfig` or its keyword knobs::
+
+            with db.serve(max_batch=16, batch_window=0.005) as service:
+                response = service.query(PRQRequest(gaussian, 10.0, 0.5))
+
+        Close it (or use it as a context manager) to drain and stop.
+        """
+        from repro.serve import QueryService
+
+        return QueryService(self, config, **knobs)
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
@@ -294,13 +317,37 @@ class SpatialDatabase:
 
     @classmethod
     def load(cls, path, index: SpatialIndex | None = None) -> "SpatialDatabase":
-        """Rebuild a database saved with :meth:`save`."""
-        with np.load(path) as archive:
-            try:
-                ids = archive["ids"]
-                points = archive["points"]
-            except KeyError as exc:
-                raise QueryError(
-                    f"{path} is not a SpatialDatabase archive (missing {exc})"
-                ) from exc
-        return cls(points, ids=[int(i) for i in ids], index=index)
+        """Rebuild a database saved with :meth:`save`.
+
+        Raises :class:`repro.errors.DatabaseLoadError` — naming the path
+        and the underlying failure — when the file is missing, truncated
+        or otherwise corrupt, instead of leaking a raw IO/unzip traceback
+        from NumPy's archive reader.
+        """
+        import zipfile
+
+        try:
+            with np.load(path) as archive:
+                try:
+                    ids = archive["ids"]
+                    points = archive["points"]
+                except KeyError as exc:
+                    raise DatabaseLoadError(
+                        path, f"not a SpatialDatabase archive (missing {exc})"
+                    ) from exc
+        except DatabaseLoadError:
+            raise
+        except FileNotFoundError as exc:
+            raise DatabaseLoadError(path, "file does not exist") from exc
+        except (OSError, zipfile.BadZipFile, EOFError, ValueError) as exc:
+            # np.load raises ValueError on truncated headers/pickles and
+            # BadZipFile/EOFError/OSError on torn .npz containers.
+            raise DatabaseLoadError(
+                path, f"truncated or corrupt archive ({exc})"
+            ) from exc
+        try:
+            return cls(points, ids=[int(i) for i in ids], index=index)
+        except (QueryError, TypeError, ValueError) as exc:
+            raise DatabaseLoadError(
+                path, f"archive contents are invalid ({exc})"
+            ) from exc

@@ -55,7 +55,7 @@ from repro.core.stages import (
 )
 from repro.core.stats import BatchStats, QueryStats
 from repro.core.strategies import Strategy
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.geometry.mbr import Rect
 from repro.index.base import SpatialIndex
 from repro.integrate.base import ProbabilityIntegrator
@@ -76,10 +76,24 @@ IntegratorFactory = Callable[
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Sorted result ids plus execution statistics."""
+    """Sorted result ids plus execution statistics.
+
+    ``error`` is ``None`` on success.  Under
+    ``run_batch(..., return_errors=True)`` a query whose execution raised
+    gets an *empty* result carrying the typed error instead — the batch
+    itself completes and every other query is unaffected.
+    """
 
     ids: tuple[int, ...]
     stats: QueryStats
+    #: Typed failure (always a ReproError subclass) when this query's
+    #: execution raised and the caller asked for captured errors.
+    error: ReproError | None = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this query failed (``error`` is set)."""
+        return self.error is not None
 
     @functools.cached_property
     def _id_set(self) -> frozenset[int]:
@@ -295,6 +309,7 @@ class QueryEngine:
         workers: int = 1,
         base_seed: int = 0,
         integrator_factory: IntegratorFactory | None = None,
+        return_errors: bool = False,
     ) -> BatchResult:
         """Execute independent queries, fanned out over a thread pool.
 
@@ -306,6 +321,17 @@ class QueryEngine:
         serve many concurrent ``run_batch`` calls.  With a planner, plan
         choices depend only on each query's own quantized shape — never on
         batch order or cache warmth — so the contract still holds.
+
+        Fault isolation: with ``return_errors=True`` a query whose
+        execution raises fails *alone* — its slot in the batch becomes an
+        empty :class:`QueryResult` carrying a typed
+        :class:`~repro.errors.ReproError` (non-library exceptions are
+        wrapped in :class:`~repro.errors.QueryError`), every other query
+        runs to completion, and the worker pool stays healthy for the
+        next batch.  With the default ``return_errors=False`` the first
+        failure propagates to the caller (wrapped the same way if it was
+        not already typed) after the pool has drained — never a hang,
+        never a silently dropped query.
         """
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -322,15 +348,30 @@ class QueryEngine:
 
         def task(pair) -> QueryResult:
             i, query, seed = pair
-            strategies = [s.clone() for s in self.strategies]
-            if integrator_factory is not None:
-                integrator = integrator_factory(query, seed)
-            else:
-                integrator = self.integrator.fork(seed)
-            child = children[i] if children is not None else None
-            return self._execute_with(
-                query, strategies, integrator, seed=seed, obs=child
-            )
+            try:
+                strategies = [s.clone() for s in self.strategies]
+                if integrator_factory is not None:
+                    integrator = integrator_factory(query, seed)
+                else:
+                    integrator = self.integrator.fork(seed)
+                child = children[i] if children is not None else None
+                return self._execute_with(
+                    query, strategies, integrator, seed=seed, obs=child
+                )
+            except BaseException as exc:  # noqa: BLE001 - re-typed below
+                error = (
+                    exc
+                    if isinstance(exc, ReproError)
+                    else QueryError(
+                        f"query {i} failed: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                if error is not exc:
+                    error.__cause__ = exc
+                if not return_errors:
+                    raise error from exc
+                return QueryResult((), QueryStats(), error=error)
 
         batch_span = (
             obs.span("batch", queries=len(queries), workers=workers)
@@ -355,6 +396,7 @@ class QueryEngine:
         batch = BatchStats(workers=workers, wall_seconds=wall)
         for result in results:
             batch.merge(result.stats)
+            batch.failed += result.failed
         if obs is not None:
             for child in children:
                 obs.absorb(

@@ -46,7 +46,43 @@ from repro.gaussian.distribution import Gaussian
 from repro.geometry.mbr import Rect
 from repro.integrate.base import ProbabilityIntegrator
 
-__all__ = ["PlannerCostModel", "PlanChoice", "PlanDecision", "QueryPlanner"]
+__all__ = [
+    "PlannerCostModel",
+    "PlanChoice",
+    "PlanDecision",
+    "QueryPlanner",
+    "quantize_log",
+    "quantized_shape_key",
+]
+
+
+def quantize_log(value: float, bins_per_efold: int) -> int:
+    """Quantize a positive scalar onto a log grid (``bins_per_efold``
+    bins per e-fold) — the planner's cache-key scheme, exposed for reuse
+    (the serving layer's result cache keys with the same scheme)."""
+    return round(math.log(max(value, 1e-300)) * bins_per_efold)
+
+
+def quantized_shape_key(
+    query: ProbabilisticRangeQuery, bins_per_efold: int
+) -> tuple:
+    """The quantized (dim, Σ-spectrum, δ, θ) shape of a query.
+
+    Two queries share a shape key iff their covariance spectra, ranges
+    and thresholds land in the same log-grid bins — the equivalence the
+    plan cache memoizes under, and the bucketing the serving layer's
+    result cache groups entries by.
+    """
+    spectrum = tuple(
+        quantize_log(ev, bins_per_efold)
+        for ev in np.sort(query.gaussian.eigenvalues)
+    )
+    return (
+        query.dim,
+        spectrum,
+        quantize_log(query.delta, bins_per_efold),
+        quantize_log(query.theta, bins_per_efold),
+    )
 
 #: Strategy combinations the planner enumerates by default — the paper's
 #: six configurations.  EM is excluded from the default menu: its
@@ -327,24 +363,12 @@ class QueryPlanner:
     # Quantization: cache key <-> canonical query
     # ------------------------------------------------------------------
 
-    def _qlog(self, value: float) -> int:
-        return round(math.log(max(value, 1e-300)) * self._bins)
-
     def _cache_key(
         self,
         query: ProbabilisticRangeQuery,
         integrator: ProbabilityIntegrator,
     ) -> tuple:
-        spectrum = tuple(
-            self._qlog(ev) for ev in np.sort(query.gaussian.eigenvalues)
-        )
-        return (
-            query.dim,
-            spectrum,
-            self._qlog(query.delta),
-            self._qlog(query.theta),
-            integrator.name,
-        )
+        return quantized_shape_key(query, self._bins) + (integrator.name,)
 
     def _dequantize(self, q: int) -> float:
         return math.exp(q / self._bins)

@@ -121,6 +121,10 @@ class BatchStats:
     n_queries: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
+    #: Queries that failed with a captured typed error
+    #: (``run_batch(..., return_errors=True)``); their counters are all
+    #: zero, so the other aggregates cover successful queries only.
+    failed: int = 0
     retrieved: int = 0
     rejected_by_filter: dict[str, int] = field(default_factory=dict)
     accepted_without_integration: int = 0
@@ -180,10 +184,12 @@ class BatchStats:
 
     def summary(self) -> str:
         """One-line digest of the whole batch."""
+        failures = f" failed={self.failed}" if self.failed else ""
         return (
             f"queries={self.n_queries} workers={self.workers} "
             f"wall={self.wall_seconds * 1e3:.1f}ms "
             f"retrieved={self.retrieved} rejected={self.total_rejected} "
             f"accepted_free={self.accepted_without_integration} "
             f"integrated={self.integrations} results={self.results}"
+            f"{failures}"
         )

@@ -48,6 +48,55 @@ class IndexError_(ReproError):
     """Spatial index misuse (duplicate ids, unknown id, wrong dimension)."""
 
 
+class DatabaseLoadError(ReproError):
+    """A persisted database artifact is missing, truncated, or corrupt.
+
+    Always names the offending path and the underlying failure, so a
+    botched deployment artifact surfaces as one clear message instead of
+    a raw unpickling/IO traceback.
+    """
+
+    def __init__(self, path, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"cannot load database from {self.path}: {reason}")
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the embedded query service."""
+
+
+class OverloadedError(ServiceError):
+    """The service's admission queue is full; the request was rejected.
+
+    The service itself never raises this at callers — it resolves the
+    request with a typed ``overloaded`` response carrying this error —
+    but the class is public so clients can re-raise uniformly.
+    """
+
+    def __init__(self, queue_size: int):
+        self.queue_size = queue_size
+        super().__init__(
+            f"request rejected: admission queue is full ({queue_size} pending)"
+        )
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before execution could start."""
+
+    def __init__(self, deadline_seconds: float, waited_seconds: float):
+        self.deadline_seconds = deadline_seconds
+        self.waited_seconds = waited_seconds
+        super().__init__(
+            f"deadline of {deadline_seconds * 1e3:.1f}ms exceeded after "
+            f"waiting {waited_seconds * 1e3:.1f}ms in the queue"
+        )
+
+
+class ServiceClosedError(ServiceError):
+    """The service was closed; no further requests are accepted."""
+
+
 class QueryError(ReproError):
     """Invalid probabilistic query specification."""
 

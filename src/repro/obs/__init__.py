@@ -50,6 +50,7 @@ from repro.obs.hooks import CProfileHook, ProfilingHook
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     ERROR_BUCKETS,
+    QUEUE_BUCKETS,
     TIME_BUCKETS,
     Counter,
     Gauge,
@@ -71,6 +72,7 @@ __all__ = [
     "TIME_BUCKETS",
     "COUNT_BUCKETS",
     "ERROR_BUCKETS",
+    "QUEUE_BUCKETS",
 ]
 
 
@@ -79,6 +81,10 @@ class _NullSpan:
     is disabled, so instrumented code never branches twice."""
 
     __slots__ = ()
+
+    #: Mirrors the real handle's ``.span`` payload (used as an absorb
+    #: re-rooting parent); always ``None`` when tracing is off.
+    span = None
 
     def __enter__(self) -> "_NullSpan":
         return self

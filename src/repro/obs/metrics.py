@@ -70,6 +70,7 @@ __all__ = [
     "TIME_BUCKETS",
     "COUNT_BUCKETS",
     "ERROR_BUCKETS",
+    "QUEUE_BUCKETS",
 ]
 
 #: Fixed bucket edges (seconds) for every duration histogram in the
@@ -90,6 +91,14 @@ COUNT_BUCKETS: tuple[float, ...] = (
 #: over-prediction are distinguishable from the exposition alone.
 ERROR_BUCKETS: tuple[float, ...] = (
     -1000.0, -100.0, -10.0, -1.0, 0.0, 1.0, 10.0, 100.0, 1000.0,
+)
+
+#: Fixed bucket edges for the serving layer's small-cardinality
+#: distributions (queue depth at drain time, coalesced micro-batch
+#: sizes): powers of two so doubling the batch window shifts mass by
+#: exactly one bucket.
+QUEUE_BUCKETS: tuple[float, ...] = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
 )
 
 

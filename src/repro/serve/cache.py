@@ -1,0 +1,114 @@
+"""Keyed result LRU cache for the query service.
+
+Keys reuse the planner's quantization scheme
+(:func:`repro.core.planner.quantized_shape_key`: log-grid bins over the
+Σ-spectrum, δ and θ) to *group* entries by workload shape, but every key
+additionally carries the request's exact SHA-256 fingerprint (center, Σ,
+δ, θ) — a hit therefore only ever returns the result of a bit-identical
+request, never of a merely similar one, so cached responses are exactly
+what re-execution would produce.  This is the serving-time reuse the
+pre-approximation literature argues for (per-(Σ, δ, θ) structure shared
+across requests), applied at the level of whole results.
+
+Thread-safe; hit/miss counters are published to the metrics registry as
+``repro_serve_cache_requests_total{outcome=...}`` plus entry/capacity
+gauges (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.core.planner import quantized_shape_key
+from repro.errors import ServiceError
+from repro.serve.request import PRQRequest
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """LRU map from exact request identity to result id tuples.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; least-recently-used entries are evicted beyond it.
+    bins_per_efold:
+        Resolution of the quantized shape prefix of each key (the same
+        knob the planner's plan cache uses).
+    """
+
+    def __init__(self, max_entries: int = 1024, *, bins_per_efold: int = 4):
+        if max_entries < 1:
+            raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
+        if bins_per_efold < 1:
+            raise ServiceError(
+                f"bins_per_efold must be >= 1, got {bins_per_efold}"
+            )
+        self.max_entries = int(max_entries)
+        self._bins = int(bins_per_efold)
+        self._entries: OrderedDict[tuple, tuple[int, ...]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def _key(self, request: PRQRequest) -> tuple:
+        return (
+            quantized_shape_key(request.query, self._bins),
+            request.fingerprint,
+        )
+
+    def get(self, request: PRQRequest) -> tuple[int, ...] | None:
+        """The cached result ids for an identical past request, or None."""
+        key = self._key(request)
+        with self._lock:
+            ids = self._entries.get(key)
+            if ids is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return ids
+
+    def put(self, request: PRQRequest, ids: tuple[int, ...]) -> None:
+        """Remember a *non-degraded* result for ``request``."""
+        key = self._key(request)
+        with self._lock:
+            self._entries[key] = tuple(ids)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def info(self) -> dict[str, int]:
+        """Hit/miss counters plus current and maximum size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "currsize": len(self._entries),
+                "maxsize": self.max_entries,
+            }
+
+    def distinct_shapes(self) -> int:
+        """How many quantized workload shapes the entries span."""
+        with self._lock:
+            return len({key[0] for key in self._entries})
+
+    def publish_metrics(self, registry) -> None:
+        """Snapshot cache state into a metrics registry (gauges)."""
+        if registry is None:
+            return
+        info = self.info()
+        registry.gauge(
+            "repro_serve_cache_entries",
+            "Results currently resident in the serve cache.",
+        ).set(info["currsize"])
+        registry.gauge(
+            "repro_serve_cache_size",
+            "Configured serve result-cache capacity.",
+        ).set(info["maxsize"])

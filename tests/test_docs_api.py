@@ -39,6 +39,36 @@ def test_all_names_resolve():
         assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
 
 
+@pytest.mark.parametrize(
+    "name",
+    sorted(__import__("repro.serve", fromlist=["__all__"]).__all__),
+)
+def test_serve_export_is_documented(name):
+    """Every ``repro.serve.__all__`` name must appear in the API docs."""
+    import repro.serve
+
+    assert hasattr(repro.serve, name), (
+        f"repro.serve.__all__ lists missing name {name!r}"
+    )
+    api = (DOCS / "api.md").read_text()
+    serving = (DOCS / "serving.md").read_text()
+    assert name in api or name in serving, (
+        f"repro.serve.{name} is exported but appears in neither docs/api.md "
+        f"nor docs/serving.md — document it (or stop exporting it)"
+    )
+
+
+def test_serving_doc_cross_links():
+    """The serving contract must stay linked from the doc hub pages."""
+    serving = DOCS / "serving.md"
+    assert serving.is_file(), "docs/serving.md is missing"
+    for hub in ("api.md", "architecture.md"):
+        text = (DOCS / hub).read_text()
+        assert "serving.md" in text, f"docs/{hub} lost its serving link"
+    readme = (DOCS.parent / "README.md").read_text()
+    assert "serving.md" in readme, "README lost its serving link"
+
+
 def test_observability_doc_cross_links():
     """The telemetry contract must stay linked from the doc hub pages."""
     obs_doc = DOCS / "observability.md"

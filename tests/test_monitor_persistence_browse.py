@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.database import SpatialDatabase
 from repro.core.monitor import MonitoringSession
-from repro.errors import QueryError
+from repro.errors import DatabaseLoadError, QueryError
 from repro.gaussian.distribution import Gaussian
 from repro.index.rtree import RStarTree
 from repro.integrate.exact import ExactIntegrator
@@ -114,7 +114,42 @@ class TestPersistence:
     def test_load_rejects_garbage(self, tmp_path):
         path = tmp_path / "junk.npz"
         np.savez(path, other=np.zeros(3))
-        with pytest.raises(QueryError):
+        with pytest.raises(DatabaseLoadError, match="missing"):
+            SpatialDatabase.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        path = tmp_path / "nope.npz"
+        with pytest.raises(DatabaseLoadError, match="does not exist") as info:
+            SpatialDatabase.load(path)
+        assert str(path) in str(info.value)
+
+    def test_load_truncated_archive(self, tmp_path, rng):
+        """A torn .npz (e.g. an interrupted copy) must surface as one
+        clear DatabaseLoadError naming the path, never a raw zip/pickle
+        traceback."""
+        good = tmp_path / "db.npz"
+        SpatialDatabase(rng.random((200, 2))).save(good)
+        payload = good.read_bytes()
+        for cut in (len(payload) // 2, 30, 1):
+            torn = tmp_path / f"torn_{cut}.npz"
+            torn.write_bytes(payload[:cut])
+            with pytest.raises(DatabaseLoadError) as info:
+                SpatialDatabase.load(torn)
+            assert str(torn) in str(info.value)
+            assert "truncated or corrupt" in str(info.value)
+
+    def test_load_non_archive_bytes(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(DatabaseLoadError, match="truncated or corrupt"):
+            SpatialDatabase.load(path)
+
+    def test_load_invalid_contents(self, tmp_path):
+        """A well-formed archive with nonsense contents (empty points)
+        fails with the invalid-contents flavour of DatabaseLoadError."""
+        path = tmp_path / "empty.npz"
+        np.savez(path, ids=np.arange(0), points=np.zeros((0, 2)))
+        with pytest.raises(DatabaseLoadError, match="invalid"):
             SpatialDatabase.load(path)
 
     def test_queries_identical_after_round_trip(self, tmp_path, rng, paper_sigma_10):

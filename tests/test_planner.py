@@ -285,3 +285,58 @@ class TestPlannerConfig:
         assert chosen.integrator == ExactIntegrator().name
         assert chosen.predicted_retrieved >= 0.0
         assert chosen.predicted_candidates >= 0.0
+
+
+class TestPlanCacheThreadSafety:
+    def test_concurrent_planning_no_duplicates_and_warm_parity(self):
+        """Hammer one planner from many threads: the LRU must end up with
+        exactly one entry per distinct shape, and every plan must be
+        bit-identical to the cold single-threaded decision."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        db = make_database()
+        shapes = make_queries(db, count=8, seed=41)
+        integrator = ExactIntegrator()
+
+        cold_planner = db.planner(cache_size=64)
+        cold = {
+            id(q): cold_planner.plan(q, integrator).chosen for q in shapes
+        }
+        distinct_keys = {
+            cold_planner._cache_key(q, integrator) for q in shapes
+        }
+
+        planner = db.planner(cache_size=64)
+        workload = [shapes[i % len(shapes)] for i in range(160)]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            decisions = list(
+                pool.map(lambda q: (q, planner.plan(q, integrator)), workload)
+            )
+
+        info = planner.cache_info()
+        assert info["currsize"] == len(distinct_keys), "duplicate cache entries"
+        assert info["hits"] + info["misses"] == len(workload)
+        assert info["hits"] >= len(workload) - 8 * len(distinct_keys)
+        for query, decision in decisions:
+            assert decision.chosen == cold[id(query)], (
+                "warm/concurrent plan diverged from cold plan"
+            )
+            assert decision.key in distinct_keys
+
+    def test_quantized_shape_key_helper_matches_cache_key(self):
+        """The shared quantization helper is exactly the plan-cache key
+        minus the integrator suffix (the serve result cache relies on
+        this alignment)."""
+        from repro.core.planner import quantize_log, quantized_shape_key
+
+        db = make_database()
+        planner = db.planner()
+        integrator = ExactIntegrator()
+        for query in make_queries(db, count=4, seed=7):
+            key = planner._cache_key(query, integrator)
+            assert key[:-1] == quantized_shape_key(query, planner._bins)
+            assert key[-1] == integrator.name
+        assert quantize_log(np.e, 1) == 1
+        assert quantize_log(1.0, 7) == 0
+        assert quantize_log(0.0, 4) == quantize_log(1e-300, 4)

@@ -157,6 +157,136 @@ def test_query_result_contains_uses_cached_set():
     assert isinstance(result._id_set, frozenset)
 
 
+class FaultyIntegrator(SequentialImportanceSampler):
+    """Raises on queries whose θ matches a poison value."""
+
+    name = "faulty"
+
+    def __init__(self, poison_theta: float, seed=None):
+        super().__init__(0.05, max_samples=5_000, seed=seed)
+        self.poison_theta = poison_theta
+
+    def fork(self, seed):
+        return FaultyIntegrator(self.poison_theta, seed=seed)
+
+    def qualification_probabilities(self, gaussian, points, delta):
+        if getattr(self, "_armed", False):
+            raise RuntimeError("integrator blew up")
+        return super().qualification_probabilities(gaussian, points, delta)
+
+
+class _ArmingFactory:
+    """Arms the FaultyIntegrator only for the poisoned query."""
+
+    def __init__(self, poison_theta: float):
+        self.poison_theta = poison_theta
+
+    def __call__(self, query, seed):
+        integrator = FaultyIntegrator(self.poison_theta, seed=seed)
+        integrator._armed = query.theta == self.poison_theta
+        return integrator
+
+
+def _poisoned_workload(database):
+    """A workload whose middle query carries a recognisably unique θ."""
+    queries = list(WorkloadGenerator(database, seed=21).batch(8))
+    victim = queries[4]
+    poisoned = ProbabilisticRangeQuery(
+        victim.gaussian, victim.delta, 0.123456789
+    )
+    queries[4] = poisoned
+    return queries, poisoned.theta
+
+
+def test_run_batch_return_errors_isolates_failure(database):
+    """A query whose integrator raises fails alone, with a typed error,
+    identically for every worker count — and the batch still completes."""
+    queries, poison = _poisoned_workload(database)
+    engine = database.engine()
+    reference = None
+    for workers in (1, 2, 4):
+        batch = engine.run_batch(
+            queries,
+            workers=workers,
+            base_seed=11,
+            integrator_factory=_ArmingFactory(poison),
+            return_errors=True,
+        )
+        assert len(batch) == len(queries)
+        assert batch.stats.failed == 1
+        failed = [i for i, r in enumerate(batch.results) if r.failed]
+        assert failed == [4]
+        assert isinstance(batch[4].error, QueryError)
+        assert "RuntimeError" in str(batch[4].error)
+        assert isinstance(batch[4].error.__cause__, RuntimeError)
+        assert batch[4].ids == ()
+        healthy = tuple(r.ids for i, r in enumerate(batch.results) if i != 4)
+        assert all(r.error is None for i, r in enumerate(batch.results) if i != 4)
+        if reference is None:
+            reference = healthy
+        else:
+            assert healthy == reference, f"results drifted at workers={workers}"
+
+
+def test_run_batch_failure_raises_typed_error_by_default(database):
+    queries, poison = _poisoned_workload(database)
+    engine = database.engine()
+    with pytest.raises(QueryError, match="RuntimeError"):
+        engine.run_batch(
+            queries,
+            workers=4,
+            integrator_factory=_ArmingFactory(poison),
+        )
+
+
+def test_run_batch_pool_survives_failures(database):
+    """The engine stays healthy after a failing batch: the next batch on
+    the same instance is complete and bit-identical to a fresh engine."""
+    queries, poison = _poisoned_workload(database)
+    engine = database.engine()
+    engine.run_batch(
+        queries,
+        workers=4,
+        base_seed=2,
+        integrator_factory=_ArmingFactory(poison),
+        return_errors=True,
+    )
+    clean = WorkloadGenerator(database, seed=33).batch(6)
+    after = engine.run_batch(clean, workers=4, base_seed=7)
+    fresh = database.engine().run_batch(clean, workers=4, base_seed=7)
+    assert after.ids == fresh.ids
+    assert after.stats.failed == 0
+
+
+def test_run_batch_keeps_library_errors_untyped_wrapped(database):
+    """A ReproError raised inside execution propagates as-is (no
+    double-wrapping)."""
+    queries, poison = _poisoned_workload(database)
+
+    class TypedFaultFactory(_ArmingFactory):
+        def __call__(self, query, seed):
+            integrator = super().__call__(query, seed)
+            if integrator._armed:
+                class Typed(FaultyIntegrator):
+                    def qualification_probabilities(self, g, p, d):
+                        raise QueryError("already typed")
+                typed = Typed(self.poison_theta, seed=seed)
+                typed._armed = True
+                return typed
+            return integrator
+
+    batch = database.engine().run_batch(
+        queries,
+        workers=2,
+        integrator_factory=TypedFaultFactory(poison),
+        return_errors=True,
+    )
+    assert str(batch[4].error) == "already typed"
+    assert type(batch[4].error) is not QueryError or batch[4].error.args == (
+        "already typed",
+    )
+
+
 def test_strategy_clone_isolates_prepared_state(database):
     template = RectilinearStrategy()
     q1 = ProbabilisticRangeQuery(
