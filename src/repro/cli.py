@@ -93,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=1,
                        help="worker threads for --batch execution "
                        "(results are identical for any worker count)")
+    query.add_argument("--shards", type=int, default=1,
+                       help="partition the database into N spatial shards "
+                       "and scatter-gather across worker processes "
+                       "(docs/sharding.md); 1 = single-process execution")
     query.add_argument("--seed", type=int, default=0,
                        help="base seed for the per-query RNG streams of "
                        "--batch execution")
@@ -295,9 +299,26 @@ def _export_obs(obs, args) -> None:
 
 
 def _cmd_query(args) -> int:
-    from repro import Gaussian, SpatialDatabase
+    from repro import SpatialDatabase
 
     db = SpatialDatabase.load(args.database)
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    sharded = None
+    if args.shards > 1:
+        sharded = db.shard(args.shards)
+    try:
+        return _dispatch_query(sharded if sharded is not None else db, args)
+    finally:
+        if sharded is not None:
+            sharded.close()
+
+
+def _dispatch_query(db, args) -> int:
+    from repro import Gaussian
+
     if args.batch is not None:
         return _run_query_batch(db, args)
     if args.center is None or args.delta is None or args.theta is None:

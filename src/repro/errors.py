@@ -97,6 +97,23 @@ class ServiceClosedError(ServiceError):
     """The service was closed; no further requests are accepted."""
 
 
+class ShardError(ReproError):
+    """A shard worker process failed while executing its slice of a query.
+
+    Carries enough context to tell *which* shard died and on which query,
+    so a batch caller using ``return_errors=True`` can retry or report the
+    affected queries while keeping every surviving shard's results.
+    """
+
+    def __init__(self, shard_id: int, query_index: int, reason: str):
+        self.shard_id = shard_id
+        self.query_index = query_index
+        self.reason = reason
+        super().__init__(
+            f"shard {shard_id} failed on query {query_index}: {reason}"
+        )
+
+
 class QueryError(ReproError):
     """Invalid probabilistic query specification."""
 

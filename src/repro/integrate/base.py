@@ -87,6 +87,23 @@ class ProbabilityIntegrator(abc.ABC):
         return accept, ~accept, results
 
     @property
+    def composition_independent(self) -> bool:
+        """Whether per-candidate results ignore which candidates co-occur.
+
+        ``True`` means a candidate's :class:`IntegrationResult` is a pure
+        function of (integrator state at call entry, candidate point) — it
+        does not depend on how the other candidates of a ``decide`` call
+        are grouped or ordered.  That is exactly the property the sharded
+        engine needs for bit-identical parity with the single-engine path:
+        partitioning the candidate set across shards must not perturb any
+        estimate.  Deterministic integrators (no internal RNG) qualify by
+        construction; stream-advancing samplers do not, because each
+        candidate consumes RNG state that shifts its successors.  RNG-free
+        is detected the same way :meth:`fork` detects reseedability.
+        """
+        return not hasattr(self, "_rng")
+
+    @property
     def cost_per_candidate(self) -> float:
         """Predicted seconds to θ-decide one Phase-3 candidate.
 

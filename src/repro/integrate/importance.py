@@ -70,6 +70,19 @@ class ImportanceSamplingIntegrator(ProbabilityIntegrator):
         self._rng = np.random.default_rng(seed)
 
     @property
+    def composition_independent(self) -> bool:
+        """Shared-sample mode draws once per call, so grouping is inert.
+
+        With ``share_samples`` every candidate of a ``decide`` call is
+        scored against the same single draw, and per-call draws depend
+        only on the RNG state at entry — partitioning candidates across
+        calls with equal entry states cannot change any estimate.  The
+        per-candidate mode advances the stream between candidates and is
+        therefore composition-dependent.
+        """
+        return self.share_samples
+
+    @property
     def cost_per_candidate(self) -> float:
         """Planner cost hint: a full fixed-budget pass per candidate.
 

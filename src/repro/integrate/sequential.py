@@ -97,6 +97,19 @@ class SequentialImportanceSampler(ProbabilityIntegrator):
         self._rng = np.random.default_rng(seed)
 
     @property
+    def composition_independent(self) -> bool:
+        """Shared-batch mode follows a fixed schedule, so grouping is inert.
+
+        With ``share_batches`` the batch sizes are a pure function of the
+        constructor budget (``min(batch_size, max_samples - drawn)``) and
+        each candidate's stopping point depends only on its own hits
+        against the shared stream prefix — never on which other candidates
+        ride along.  The per-candidate mode consumes a variable amount of
+        stream per candidate and is composition-dependent.
+        """
+        return self.share_batches
+
+    @property
     def cost_per_candidate(self) -> float:
         """Planner cost hint: most candidates stop after a few batches.
 

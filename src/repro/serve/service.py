@@ -143,6 +143,12 @@ class QueryService:
     """
 
     def __init__(self, database, config: ServiceConfig | None = None, **knobs):
+        # ``clock`` is injectable for tests: every deadline/degradation
+        # decision and every latency figure reads it instead of the wall
+        # clock, so deadline behaviour can be driven deterministically.
+        # It rides alongside either a ServiceConfig or the plain knobs.
+        clock = knobs.pop("clock", None)
+        self._clock = clock if clock is not None else time.monotonic
         if config is not None and knobs:
             raise ServiceError("pass either a ServiceConfig or knobs, not both")
         self.config = config or ServiceConfig(**knobs)
@@ -221,7 +227,7 @@ class QueryService:
                     )
                 )
                 return future
-        pending = _Pending(request, future, time.monotonic())
+        pending = _Pending(request, future, self._clock())
         try:
             admitted = self._queue.offer(pending)
         except ServiceError:
@@ -321,7 +327,7 @@ class QueryService:
 
     def _process(self, batch: list[_Pending]) -> None:
         obs = self._obs
-        now = time.monotonic()
+        now = self._clock()
         depth = len(batch) + len(self._queue)
         expired: list[_Pending] = []
         degrade: list[_Pending] = []
@@ -379,12 +385,12 @@ class QueryService:
                     pending.request.deadline or 0.0, waited
                 ),
                 queued_seconds=waited,
-                service_seconds=time.monotonic() - pending.enqueued_at,
+                service_seconds=self._clock() - pending.enqueued_at,
             )
         )
 
     def _resolve_degraded(self, pending: _Pending) -> None:
-        started = time.monotonic()
+        started = self._clock()
         try:
             ids, bounds, stats = degraded_execute(
                 self.engine, pending.request.query
@@ -404,7 +410,7 @@ class QueryService:
                 bounds=bounds,
                 batch_size=1,
                 queued_seconds=started - pending.enqueued_at,
-                service_seconds=time.monotonic() - pending.enqueued_at,
+                service_seconds=self._clock() - pending.enqueued_at,
                 stats=stats,
             )
         )
@@ -424,7 +430,7 @@ class QueryService:
                 status=STATUS_FAILED,
                 error=error,
                 queued_seconds=started - pending.enqueued_at,
-                service_seconds=time.monotonic() - pending.enqueued_at,
+                service_seconds=self._clock() - pending.enqueued_at,
             )
         )
 
@@ -439,7 +445,7 @@ class QueryService:
         (deterministic integrators trivially; sampling integrators via
         the fingerprint-derived seed).
         """
-        started = time.monotonic()
+        started = self._clock()
         groups: dict[bytes, list[_Pending]] = {}
         for pending in full:
             groups.setdefault(pending.request.fingerprint, []).append(pending)
@@ -458,7 +464,7 @@ class QueryService:
             integrator_factory=factory,
             return_errors=True,
         )
-        finished = time.monotonic()
+        finished = self._clock()
         self._count("executed", len(leaders))
         per_query = (finished - started) / len(leaders)
         for leader, result in zip(leaders, batch.results):
@@ -483,7 +489,7 @@ class QueryService:
                     error=result.error,
                     batch_size=batch_size,
                     queued_seconds=started - pending.enqueued_at,
-                    service_seconds=time.monotonic() - pending.enqueued_at,
+                    service_seconds=self._clock() - pending.enqueued_at,
                     stats=result.stats,
                 )
             )
@@ -498,7 +504,7 @@ class QueryService:
                 ids=result.ids,
                 batch_size=batch_size,
                 queued_seconds=started - pending.enqueued_at,
-                service_seconds=time.monotonic() - pending.enqueued_at,
+                service_seconds=self._clock() - pending.enqueued_at,
                 stats=result.stats,
             )
         )
@@ -514,7 +520,7 @@ class QueryService:
         if obs is None or obs.metrics is None:
             return
         registry = obs.metrics
-        now = time.monotonic()
+        now = self._clock()
         registry.histogram(
             "repro_serve_queue_depth",
             "Requests queued (including the drained batch) at drain time.",

@@ -1,0 +1,597 @@
+"""Scatter–gather PRQ execution over spatial shards in worker processes.
+
+The coordinator (this module) does everything that must be globally
+consistent — planning, per-query integrator forking, Phase-0 routing —
+and ships self-contained :class:`~repro.shard.worker.ShardTask` messages
+to a pool of long-lived worker processes, one R*-tree per shard, all
+reading the same shared-memory point array.  Results are merged
+deterministically in shard order.
+
+Routing is Phase 1 reused: the coordinator prepares the query's
+strategies and computes the combined Phase-1 search rectangle (the
+θ-region Minkowski box, possibly tightened by the other strategies); a
+shard is dispatched only when its MBR intersects that rectangle.  Since
+a shard whose MBR misses the rectangle cannot contain a Phase-1
+candidate, skipped shards contribute nothing — the union of routed
+shards' candidates *is* the unsharded candidate set.
+
+Determinism contract (matching :meth:`repro.core.engine.QueryEngine`):
+every query's integrator is forked from the ``i``-th spawn of
+``SeedSequence(base_seed)`` and every shard receives a copy with the
+*same entry state*, so for composition-independent integrators (see
+:attr:`~repro.integrate.base.ProbabilityIntegrator.composition_independent`)
+the merged results are bit-identical to the single-engine path for every
+shard count, worker count and plan-cache state.  Composition-dependent
+samplers are automatically wrapped in
+:class:`~repro.shard.seeding.CandidateSeededIntegrator`, which keeps the
+cross-shard-count guarantee (at the price of differing from the
+unwrapped sampler's stream).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import BatchResult, IntegratorFactory, QueryResult
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.stages import SearchStage
+from repro.core.stats import BatchStats, QueryStats
+from repro.core.strategies import Strategy
+from repro.errors import QueryError, ReproError, ShardError
+from repro.geometry.mbr import Rect
+from repro.integrate.base import ProbabilityIntegrator
+from repro.integrate.importance import ImportanceSamplingIntegrator
+from repro.obs import COUNT_BUCKETS, Observability
+from repro.shard.partition import ShardSpec
+from repro.shard.seeding import CandidateSeededIntegrator
+from repro.shard.shm import SharedPointStore
+from repro.shard.worker import ShardTask, ShardTaskResult, worker_main
+
+__all__ = ["ShardPool", "ShardedEngine"]
+
+#: Seconds between result polls; liveness is re-checked on every miss.
+_POLL_INTERVAL = 0.25
+
+
+def _start_method() -> str:
+    """Preferred multiprocessing start method (override via env)."""
+    forced = os.environ.get("REPRO_SHARD_START_METHOD")
+    if forced:
+        return forced
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+@dataclass
+class _Worker:
+    """One worker process plus its private task queue."""
+
+    index: int
+    owned: list[tuple[int, np.ndarray]]
+    process: mp.Process
+    task_queue: object
+
+
+@dataclass(frozen=True)
+class PoolRunReport:
+    """Outcome of one :meth:`ShardPool.run`: results plus fault counters."""
+
+    results: dict[int, ShardTaskResult]
+    worker_failures: int = 0
+
+
+class ShardPool:
+    """Long-lived worker processes executing :class:`ShardTask` messages.
+
+    Shard ``s`` is owned by worker ``s % n_workers``; each worker builds
+    the R*-trees for its shards once, at startup, over views into the
+    shared point store.  ``run`` is thread-safe (serialized), so several
+    engines — e.g. a user thread and the ``repro.serve`` scheduler — can
+    share one pool.
+
+    Fault handling: a worker that dies (crash, ``SIGKILL``) is detected
+    by a liveness check; its outstanding tasks are failed with a typed
+    error payload and the worker is respawned with a fresh queue, so the
+    next batch runs at full strength.
+    """
+
+    def __init__(
+        self,
+        store: SharedPointStore,
+        shards: list[ShardSpec],
+        n_workers: int | None = None,
+        *,
+        max_entries: int = 50,
+        method: str = "str",
+        start_method: str | None = None,
+    ):
+        if not shards:
+            raise QueryError("at least one shard is required")
+        self._store = store
+        self._shards = shards
+        self._ctx = mp.get_context(start_method or _start_method())
+        self._max_entries = max_entries
+        self._method = method
+        self.n_workers = min(n_workers or len(shards), len(shards))
+        if self.n_workers < 1:
+            raise QueryError(f"n_workers must be >= 1, got {self.n_workers}")
+        self._result_queue = self._ctx.Queue()
+        self._lock = threading.Lock()
+        self._task_ids = itertools.count()
+        self._closed = False
+        #: Cumulative fault counters (read by the engine's metrics).
+        self.worker_failures = 0
+        self.respawns = 0
+        self._workers: list[_Worker] = []
+        for widx in range(self.n_workers):
+            owned = [
+                (spec.shard_id, spec.positions)
+                for spec in shards
+                if spec.shard_id % self.n_workers == widx
+            ]
+            self._workers.append(self._spawn(widx, owned))
+        # Block until every worker has built its trees: keeps startup
+        # cost out of the first batch and surfaces build errors early.
+        ready = 0
+        while ready < self.n_workers:
+            kind, _ = self._result_queue.get()
+            if kind == "ready":
+                ready += 1
+
+    def _spawn(self, widx: int, owned) -> _Worker:
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(self._store.descriptor, owned, task_queue, self._result_queue),
+            kwargs={
+                "max_entries": self._max_entries,
+                "method": self._method,
+                "untrack_shm": self._ctx.get_start_method() != "fork",
+            },
+            daemon=True,
+        )
+        process.start()
+        return _Worker(widx, owned, process, task_queue)
+
+    def next_task_id(self) -> int:
+        return next(self._task_ids)
+
+    def worker_for(self, shard_id: int) -> int:
+        return shard_id % self.n_workers
+
+    @property
+    def processes(self) -> list[mp.Process]:
+        """The live worker processes (test hook for fault injection)."""
+        return [w.process for w in self._workers]
+
+    def run(self, tasks: list[ShardTask]) -> PoolRunReport:
+        """Dispatch ``tasks`` and gather one result per task.
+
+        Never raises for worker faults: a dead worker's outstanding tasks
+        come back as :class:`ShardTaskResult` error payloads and the
+        worker is respawned before returning.
+        """
+        if self._closed:
+            raise QueryError("shard pool is closed")
+        with self._lock:
+            outstanding: dict[int, ShardTask] = {}
+            owner: dict[int, int] = {}
+            for task in tasks:
+                widx = self.worker_for(task.shard_id)
+                outstanding[task.task_id] = task
+                owner[task.task_id] = widx
+                self._workers[widx].task_queue.put(task)
+            results: dict[int, ShardTaskResult] = {}
+            failures = 0
+            while outstanding:
+                try:
+                    kind, payload = self._result_queue.get(
+                        timeout=_POLL_INTERVAL
+                    )
+                except queue_mod.Empty:
+                    failures += self._reap_dead(outstanding, owner, results)
+                    continue
+                if kind != "result" or payload.task_id not in outstanding:
+                    continue  # late "ready" or a task already failed over
+                del outstanding[payload.task_id]
+                results[payload.task_id] = payload
+            self.worker_failures += failures
+            return PoolRunReport(results, worker_failures=failures)
+
+    def _reap_dead(self, outstanding, owner, results) -> int:
+        """Fail over tasks owned by dead workers; respawn the workers."""
+        failures = 0
+        for widx, worker in enumerate(self._workers):
+            if worker.process.is_alive():
+                continue
+            failures += 1
+            exitcode = worker.process.exitcode
+            for task_id in [t for t, w in owner.items() if w == widx]:
+                if task_id not in outstanding:
+                    continue
+                task = outstanding.pop(task_id)
+                results[task_id] = ShardTaskResult(
+                    task.task_id,
+                    task.query_index,
+                    task.shard_id,
+                    error=(
+                        f"worker process {widx} died "
+                        f"(exitcode {exitcode})"
+                    ),
+                )
+            # A fresh queue drops any tasks buffered for the dead worker
+            # — they were just failed above; the respawn must not rerun
+            # them and report duplicate (ignored) results.
+            self._drain_task_queue(worker)
+            self._workers[widx] = self._spawn(widx, worker.owned)
+            self.respawns += 1
+        return failures
+
+    @staticmethod
+    def _drain_task_queue(worker: _Worker) -> None:
+        try:
+            while True:
+                worker.task_queue.get_nowait()
+        except (queue_mod.Empty, OSError, ValueError):
+            pass
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop every worker (sentinel, then terminate stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.task_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - torn queue
+                pass
+        deadline = time.monotonic() + timeout
+        for worker in self._workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():  # pragma: no cover - hung worker
+                worker.process.terminate()
+                worker.process.join(1.0)
+        for worker in self._workers:
+            worker.task_queue.cancel_join_thread()
+            worker.task_queue.close()
+        self._result_queue.cancel_join_thread()
+        self._result_queue.close()
+
+
+@dataclass
+class _Prepared:
+    """Coordinator-side state for one query of a batch."""
+
+    stats: QueryStats
+    strategies: list[Strategy] = field(default_factory=list)
+    phase1: str = "intersect"
+    integrator: ProbabilityIntegrator | None = None
+    rect: Rect | None = None
+    routed: list[ShardSpec] = field(default_factory=list)
+    error: ReproError | None = None
+
+
+class ShardedEngine:
+    """Drop-in :class:`~repro.core.engine.QueryEngine` over a shard pool.
+
+    Exposes the same surface (``execute``/``run``/``run_batch``/
+    ``explain`` plus the ``index``/``strategies``/``integrator``/
+    ``phase1``/``planner`` attributes), so ``repro.serve`` and every
+    batch caller work unchanged.  The ``workers`` argument of
+    ``run_batch`` is validated for compatibility but parallelism is
+    governed by the pool's worker processes — queries fan out across
+    shards, not threads.
+    """
+
+    def __init__(
+        self,
+        database,
+        strategies: list[Strategy],
+        integrator: ProbabilityIntegrator | None = None,
+        *,
+        phase1: str = "intersect",
+        planner=None,
+        obs: Observability | None = None,
+    ):
+        if not strategies:
+            raise QueryError("at least one strategy is required")
+        if phase1 not in ("intersect", "primary"):
+            raise QueryError(
+                f"phase1 must be 'intersect' or 'primary', got {phase1!r}"
+            )
+        self.database = database
+        self.index = database.index
+        self.strategies = list(strategies)
+        self.integrator = integrator or ImportanceSamplingIntegrator()
+        self.phase1 = phase1
+        self.planner = planner
+        self.obs = obs
+
+    # -- drop-in entry points ------------------------------------------
+
+    def execute(self, query: ProbabilisticRangeQuery) -> QueryResult:
+        batch = self.run_batch([query])
+        result = batch.results[0]
+        if self.obs is not None and self.planner is not None:
+            self.planner.publish_metrics(self.obs)
+        return result
+
+    def run(
+        self,
+        queries,
+        *,
+        base_seed: int = 0,
+        integrator_factory: IntegratorFactory | None = None,
+    ) -> BatchResult:
+        return self.run_batch(
+            queries,
+            workers=1,
+            base_seed=base_seed,
+            integrator_factory=integrator_factory,
+        )
+
+    def explain(self, query: ProbabilisticRangeQuery, *, estimator=None):
+        """Delegate to an unsharded engine view over the full index."""
+        from repro.core.engine import QueryEngine
+
+        probe = QueryEngine(
+            self.index,
+            [s.clone() for s in self.strategies],
+            self.integrator,
+            phase1=self.phase1,
+            planner=self.planner,
+        )
+        return probe.explain(query, estimator=estimator)
+
+    def run_batch(
+        self,
+        queries,
+        *,
+        workers: int = 1,
+        base_seed: int = 0,
+        integrator_factory: IntegratorFactory | None = None,
+        return_errors: bool = False,
+    ) -> BatchResult:
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        queries = list(queries)
+        pool = self.database.pool
+        shards = self.database.shards
+        seeds = np.random.SeedSequence(base_seed).spawn(len(queries))
+        obs = self.obs
+
+        batch_span = (
+            obs.span(
+                "batch", queries=len(queries), workers=pool.n_workers
+            )
+            if obs is not None
+            else None
+        )
+        start = time.perf_counter()
+        if batch_span is not None:
+            batch_span.__enter__()
+        try:
+            prepared: list[_Prepared] = []
+            tasks: list[ShardTask] = []
+            task_slots: dict[int, tuple[int, ShardTaskResult | None]] = {}
+            for i, (query, seed) in enumerate(zip(queries, seeds)):
+                prep = self._prepare(
+                    i, query, seed, integrator_factory, return_errors
+                )
+                prepared.append(prep)
+                for spec in prep.routed:
+                    task = ShardTask(
+                        task_id=pool.next_task_id(),
+                        query_index=i,
+                        shard_id=spec.shard_id,
+                        query=query,
+                        strategies=[s.clone() for s in prep.strategies],
+                        phase1=prep.phase1,
+                        integrator=prep.integrator,
+                    )
+                    tasks.append(task)
+                    task_slots[task.task_id] = (i, None)
+
+            scatter_span = (
+                obs.span(
+                    "shard:scatter",
+                    queries=len(queries),
+                    tasks=len(tasks),
+                    shards=len(shards),
+                )
+                if obs is not None
+                else None
+            )
+            if scatter_span is not None:
+                scatter_span.__enter__()
+            report = PoolRunReport({})
+            try:
+                if tasks:
+                    report = pool.run(tasks)
+            finally:
+                if scatter_span is not None:
+                    scatter_span.annotate(
+                        worker_failures=report.worker_failures
+                    )
+                    scatter_span.__exit__(None, None, None)
+
+            per_query: list[list[ShardTaskResult]] = [[] for _ in queries]
+            for task_id, result in report.results.items():
+                per_query[task_slots[task_id][0]].append(result)
+            results = [
+                self._merge(i, prep, per_query[i], return_errors)
+                for i, prep in enumerate(prepared)
+            ]
+        finally:
+            if batch_span is not None:
+                batch_span.__exit__(None, None, None)
+        wall = time.perf_counter() - start
+
+        batch = BatchStats(workers=pool.n_workers, wall_seconds=wall)
+        for result in results:
+            batch.merge(result.stats)
+            batch.failed += result.failed
+        if obs is not None:
+            self._publish(obs, prepared, tasks, report, len(shards))
+            for result in results:
+                obs.record_query(result.stats)
+            obs.record_batch(batch)
+            if self.planner is not None:
+                self.planner.publish_metrics(obs)
+        return BatchResult(tuple(results), batch)
+
+    # -- coordinator internals -----------------------------------------
+
+    def _prepare(
+        self, i, query, seed, integrator_factory, return_errors
+    ) -> _Prepared:
+        stats = QueryStats()
+        try:
+            strategies = [s.clone() for s in self.strategies]
+            phase1 = self.phase1
+            if integrator_factory is not None:
+                integrator = integrator_factory(query, seed)
+            else:
+                integrator = self.integrator.fork(seed)
+            if self.planner is not None:
+                with stats.time_phase("plan"):
+                    decision = self.planner.plan(query, integrator)
+                    chosen = decision.chosen
+                    strategies = self.planner.build_strategies(
+                        chosen.strategies
+                    )
+                    if chosen.integrator != integrator.name:
+                        picked = self.planner.integrator_for(chosen.integrator)
+                        if picked is not None:
+                            integrator = picked.fork(seed)
+                    stats.plan_strategies = chosen.strategy_names
+                    stats.plan_phase1 = chosen.phase1
+                    stats.plan_cache_hit = decision.cache_hit
+                    stats.predicted_integrations = chosen.predicted_candidates
+                    stats.predicted_seconds = chosen.predicted_seconds
+                    phase1 = chosen.phase1
+            if not integrator.composition_independent:
+                integrator = CandidateSeededIntegrator(integrator)
+            # Phase-0 routing: prepare a throwaway strategy set and reuse
+            # the engine's own Phase-1 rectangle as the routing volume.
+            routing = [s.clone() for s in strategies]
+            rect = SearchStage(self.index, phase1=phase1).prepare(
+                query, routing, stats
+            )
+            if rect is None:
+                return _Prepared(stats=stats, phase1=phase1)
+            routed = [
+                spec
+                for spec in self.database.shards
+                if spec.mbr.intersects(rect)
+            ]
+            return _Prepared(
+                stats=stats,
+                strategies=strategies,
+                phase1=phase1,
+                integrator=integrator,
+                rect=rect,
+                routed=routed,
+            )
+        except BaseException as exc:  # noqa: BLE001 - re-typed below
+            error = (
+                exc
+                if isinstance(exc, ReproError)
+                else QueryError(
+                    f"query {i} failed: {type(exc).__name__}: {exc}"
+                )
+            )
+            if error is not exc:
+                error.__cause__ = exc
+            if not return_errors:
+                raise error from exc
+            return _Prepared(stats=QueryStats(), error=error)
+
+    def _merge(
+        self,
+        i: int,
+        prep: _Prepared,
+        shard_results: list[ShardTaskResult],
+        return_errors: bool,
+    ) -> QueryResult:
+        if prep.error is not None:
+            return QueryResult((), QueryStats(), error=prep.error)
+        stats = prep.stats
+        merged: set[int] = set()
+        errors: list[ShardError] = []
+        # Shard order, not arrival order: merged stats dict insertion
+        # (rejections, tier decisions) must not depend on scheduling.
+        for result in sorted(shard_results, key=lambda r: r.shard_id):
+            if result.error is not None:
+                errors.append(ShardError(result.shard_id, i, result.error))
+                continue
+            merged.update(result.ids)
+            s = result.stats
+            stats.retrieved += s.retrieved
+            for name, count in s.rejected_by_filter.items():
+                stats.note_rejections(name, count)
+            stats.accepted_without_integration += (
+                s.accepted_without_integration
+            )
+            stats.integrations += s.integrations
+            stats.integration_samples += s.integration_samples
+            for method, count in s.tier_decisions.items():
+                stats.note_decision(method, count)
+            for phase, seconds in s.phase_seconds.items():
+                stats.phase_seconds[phase] = (
+                    stats.phase_seconds.get(phase, 0.0) + seconds
+                )
+        if errors:
+            if not return_errors:
+                raise errors[0]
+            return QueryResult((), QueryStats(), error=errors[0])
+        ids = tuple(sorted(int(obj) for obj in merged))
+        stats.results = len(ids)
+        return QueryResult(ids, stats)
+
+    def _publish(
+        self, obs, prepared, tasks, report, n_shards: int
+    ) -> None:
+        """Emit the ``repro_shard_*`` metric family for one batch."""
+        reg = obs.metrics
+        reg.gauge(
+            "repro_shard_count", "Number of spatial shards in the pool"
+        ).set(n_shards)
+        reg.counter(
+            "repro_shard_tasks_total",
+            "Shard tasks dispatched to worker processes",
+        ).inc(len(tasks))
+        routed = reg.counter(
+            "repro_shard_routed_total",
+            "Query-shard pairs routed (shard MBR intersected the query box)",
+        )
+        skipped = reg.counter(
+            "repro_shard_skipped_total",
+            "Query-shard pairs pruned by MBR routing",
+        )
+        fanout = reg.histogram(
+            "repro_shard_fanout",
+            "Shards dispatched per query",
+            buckets=COUNT_BUCKETS,
+        )
+        for prep in prepared:
+            if prep.error is not None:
+                continue
+            routed.inc(len(prep.routed))
+            skipped.inc(n_shards - len(prep.routed))
+            fanout.observe(len(prep.routed))
+        reg.counter(
+            "repro_shard_worker_failures_total",
+            "Worker processes found dead during scatter-gather",
+        ).inc(report.worker_failures)
+        reg.counter(
+            "repro_shard_respawns_total",
+            "Worker processes respawned after a failure",
+        ).inc(report.worker_failures)

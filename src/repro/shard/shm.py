@@ -1,0 +1,123 @@
+"""Shared-memory point storage for shard worker processes.
+
+One ``multiprocessing.shared_memory`` block holds the whole database —
+object ids (int64) followed by the point matrix (float64, row-major) —
+so every shard worker maps the same physical pages instead of receiving
+a pickled copy.  The block is described by a tiny picklable
+:class:`ShmDescriptor` (name, n, dim); workers attach by name and build
+views, never copies.
+
+Lifecycle: exactly one process owns the block (the one that called
+:meth:`SharedPointStore.create`) and is responsible for ``unlink``;
+every attacher only ``close``\\ s its mapping.  Attaching deregisters the
+segment from the child's ``resource_tracker`` to work around the
+well-known CPython issue where every attacher "inherits" unlink
+responsibility and spews spurious leak warnings at exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import QueryError
+
+__all__ = ["ShmDescriptor", "SharedPointStore"]
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Everything a worker needs to attach: segment name and array shape."""
+
+    name: str
+    n: int
+    dim: int
+
+
+class SharedPointStore:
+    """A (ids, points) pair backed by one shared-memory segment.
+
+    Layout: ``n`` int64 ids, then ``n × dim`` float64 coordinates.  Both
+    arrays are exposed as read-only views into the segment.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, n: int, dim: int, *, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self.n = n
+        self.dim = dim
+        id_bytes = n * 8
+        ids = np.ndarray((n,), dtype=np.int64, buffer=shm.buf[:id_bytes])
+        points = np.ndarray((n, dim), dtype=np.float64, buffer=shm.buf[id_bytes:])
+        ids.flags.writeable = owner
+        points.flags.writeable = owner
+        self.ids = ids
+        self.points = points
+
+    @classmethod
+    def create(cls, ids, points: np.ndarray) -> "SharedPointStore":
+        """Allocate a segment and copy ``ids``/``points`` into it."""
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        id_arr = np.ascontiguousarray(ids, dtype=np.int64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise QueryError(
+                f"points must be a non-empty (n, d) array, got shape {pts.shape}"
+            )
+        if id_arr.shape != (pts.shape[0],):
+            raise QueryError(
+                f"{id_arr.size} ids provided for {pts.shape[0]} points"
+            )
+        n, dim = pts.shape
+        shm = shared_memory.SharedMemory(create=True, size=n * 8 + n * dim * 8)
+        store = cls(shm, n, dim, owner=True)
+        store.ids[:] = id_arr
+        store.points[:] = pts
+        store.ids.flags.writeable = False
+        store.points.flags.writeable = False
+        return store
+
+    @classmethod
+    def attach(
+        cls, descriptor: ShmDescriptor, *, untrack: bool = False
+    ) -> "SharedPointStore":
+        """Map an existing segment (worker side); never copies.
+
+        ``untrack=True`` deregisters the segment from this process's
+        ``resource_tracker``: needed under the ``spawn`` start method,
+        where CPython registers every attacher with the worker's *own*
+        tracker, which would then warn about (and unlink!) the segment
+        when the worker exits.  Under ``fork`` the tracker is shared with
+        the creator and registration is a set no-op, so deregistering
+        there would instead steal the creator's cleanup entry.
+        """
+        shm = shared_memory.SharedMemory(name=descriptor.name, create=False)
+        if untrack:
+            try:  # pragma: no cover - depends on interpreter internals
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(shm, descriptor.n, descriptor.dim, owner=False)
+
+    @property
+    def descriptor(self) -> ShmDescriptor:
+        return ShmDescriptor(self._shm.name, self.n, self.dim)
+
+    def close(self) -> None:
+        """Drop this process's mapping (and the segment itself if owner)."""
+        # Views into shm.buf must be released before close() or CPython
+        # raises BufferError on the exported memoryview.
+        self.ids = None
+        self.points = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - lingering external view
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

@@ -69,6 +69,36 @@ def test_serving_doc_cross_links():
     assert "serving.md" in readme, "README lost its serving link"
 
 
+@pytest.mark.parametrize(
+    "name",
+    sorted(__import__("repro.shard", fromlist=["__all__"]).__all__),
+)
+def test_shard_export_is_documented(name):
+    """Every ``repro.shard.__all__`` name must appear in the API docs."""
+    import repro.shard
+
+    assert hasattr(repro.shard, name), (
+        f"repro.shard.__all__ lists missing name {name!r}"
+    )
+    api = (DOCS / "api.md").read_text()
+    sharding = (DOCS / "sharding.md").read_text()
+    assert name in api or name in sharding, (
+        f"repro.shard.{name} is exported but appears in neither docs/api.md "
+        f"nor docs/sharding.md — document it (or stop exporting it)"
+    )
+
+
+def test_sharding_doc_cross_links():
+    """The sharding contract must stay linked from the doc hub pages."""
+    sharding = DOCS / "sharding.md"
+    assert sharding.is_file(), "docs/sharding.md is missing"
+    for hub in ("api.md", "architecture.md"):
+        text = (DOCS / hub).read_text()
+        assert "sharding.md" in text, f"docs/{hub} lost its sharding link"
+    readme = (DOCS.parent / "README.md").read_text()
+    assert "sharding.md" in readme, "README lost its sharding link"
+
+
 def test_observability_doc_cross_links():
     """The telemetry contract must stay linked from the doc hub pages."""
     obs_doc = DOCS / "observability.md"

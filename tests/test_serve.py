@@ -45,6 +45,33 @@ def database() -> SpatialDatabase:
     return SpatialDatabase(rng.random((2_000, 2)) * 1000.0)
 
 
+class FakeClock:
+    """Deterministic stand-in for ``time.monotonic``.
+
+    Injected via ``database.serve(..., clock=clock)``: every deadline
+    decision and latency figure then reads this clock, so the deadline
+    tests below assert scheduling *policy*, not wall-clock luck on a
+    loaded CI machine.  ``step`` advances the clock on every read
+    (simulating a fixed per-operation latency); ``advance`` moves it
+    explicitly.
+    """
+
+    def __init__(self, start: float = 1_000.0, step: float = 0.0):
+        self._now = start
+        self._step = step
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            now = self._now
+            self._now += self._step
+            return now
+
+    def advance(self, seconds: float) -> None:
+        with self._lock:
+            self._now += seconds
+
+
 def make_requests(n: int, seed: int = 0, **envelope) -> list[PRQRequest]:
     rng = np.random.default_rng(seed)
     requests = []
@@ -208,6 +235,21 @@ class TestDeadlines:
         assert isinstance(response.error, DeadlineExceededError)
         assert not response.ok
 
+    def test_deadline_expiry_is_clock_driven(self, database):
+        """Expiry follows the injected clock, not wall time: a clock that
+        gains 0.3s per read blows a 0.2s deadline between submission and
+        drain, however fast the real machine is."""
+        clock = FakeClock(step=0.3)
+        with database.serve(
+            integrator=CascadeIntegrator(), clock=clock
+        ) as service:
+            response = service.query(
+                make_requests(1, deadline=0.2)[0], timeout=30
+            )
+        assert response.status == STATUS_DEADLINE_EXCEEDED
+        assert isinstance(response.error, DeadlineExceededError)
+        assert response.error.waited_seconds == pytest.approx(0.3)
+
     def test_tight_deadline_degrades_with_sound_bounds(self, database):
         """A deadline below the predicted full cost degrades; the bounds
         must enclose the exact probabilities and the certain ids must be
@@ -223,8 +265,11 @@ class TestDeadlines:
         full = database.probabilistic_range_query(
             gaussian, 10.0, theta, integrator=exact
         )
+        # Frozen fake clock: the request reaches the drain with its full
+        # 0.2s budget intact no matter how slow the host is, so the 5s
+        # cost prior forces degradation — never spurious expiry.
         with database.serve(
-            integrator=CascadeIntegrator(), cost_prior=5.0
+            integrator=CascadeIntegrator(), cost_prior=5.0, clock=FakeClock()
         ) as service:
             response = service.query(request, timeout=30)
         assert response.status == STATUS_DEGRADED
@@ -242,9 +287,13 @@ class TestDeadlines:
             assert lo - 1e-9 <= p <= hi + 1e-9
 
     def test_degradation_can_be_disabled(self, database):
+        # Frozen clock: the deadline cannot expire, so the only question
+        # is whether degrade=False really forces full execution despite
+        # a cost prior far above the budget.
         request = make_requests(1, deadline=30.0)[0]
         with database.serve(
-            integrator=CascadeIntegrator(), degrade=False, cost_prior=100.0
+            integrator=CascadeIntegrator(), degrade=False, cost_prior=100.0,
+            clock=FakeClock(),
         ) as service:
             response = service.query(request, timeout=30)
         assert response.status == STATUS_OK
@@ -309,8 +358,10 @@ class TestResultCache:
         retry = PRQRequest(
             Gaussian([500.0, 500.0], 15.0 * np.eye(2)), 10.0, 0.3
         )
+        # Frozen clock: deterministic degrade-vs-expire split (see
+        # TestDeadlines for the policy rationale).
         with database.serve(
-            integrator=CascadeIntegrator(), cost_prior=5.0
+            integrator=CascadeIntegrator(), cost_prior=5.0, clock=FakeClock()
         ) as service:
             degraded = service.query(request, timeout=30)
             full = service.query(retry, timeout=30)

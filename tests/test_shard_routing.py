@@ -1,0 +1,177 @@
+"""Oracle-backed soundness of Phase-0 shard routing.
+
+The sharded engine dispatches a query only to shards whose MBR
+intersects the combined Phase-1 rectangle (the θ-region Minkowski box,
+possibly tightened by the other strategies).  Routing is *sound* iff the
+pruning never loses an answer: the union of the routed shards' Phase-1
+candidate sets must equal the unsharded candidate set, and every skipped
+shard's tree must return zero candidates for the same rectangle.  These
+tests replay that contract over seeded random Gaussians, δ and θ in
+d ∈ {2, 3}, for both partitioning methods and several shard counts,
+against the repo's own single-tree index as the oracle — the style of
+``tests/test_filter_soundness.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import SpatialDatabase
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.stages import SearchStage
+from repro.core.stats import QueryStats
+from repro.core.strategies import make_strategies
+from repro.errors import QueryError
+from repro.gaussian.distribution import Gaussian
+from repro.shard.partition import partition_positions
+from repro.shard.shm import SharedPointStore
+from repro.shard.worker import build_shard_tree
+
+from tests.conftest import random_spd
+
+#: Cloud size.  Mixed clustered/uniform so shard MBRs differ in shape
+#: and density and MBR pruning actually fires for off-cluster queries.
+N_POINTS = 500
+
+#: Seeded queries replayed per (dim, shards, method) combination.
+N_QUERIES = 12
+
+
+def point_cloud(dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 1000.0, (8, dim))
+    n_clustered = N_POINTS - 100
+    clustered = (
+        centers[rng.integers(0, len(centers), n_clustered)]
+        + 30.0 * rng.standard_normal((n_clustered, dim))
+    )
+    uniform = rng.uniform(0.0, 1000.0, (100, dim))
+    return np.vstack([clustered, uniform])
+
+
+def seeded_query(dim: int, seed: int) -> ProbabilisticRangeQuery:
+    """One random PRQ; centers range from deep inside to off the cloud."""
+    rng = np.random.default_rng(seed)
+    sigma = random_spd(rng, dim, scale=20.0 + 180.0 * rng.random())
+    center = rng.uniform(-200.0, 1200.0, dim)
+    delta = float(5.0 + 45.0 * rng.random())
+    theta = float(np.exp(rng.uniform(np.log(0.01), np.log(0.5))))
+    return ProbabilisticRangeQuery(Gaussian(center, sigma), delta, theta)
+
+
+@pytest.mark.parametrize("method", ["str", "hilbert"])
+@pytest.mark.parametrize("n_shards", [2, 3, 5])
+@pytest.mark.parametrize("dim", [2, 3])
+def test_routed_union_equals_unsharded_candidates(dim, n_shards, method):
+    points = point_cloud(dim, seed=101 * dim)
+    db = SpatialDatabase(points)
+    specs = partition_positions(points, n_shards, method=method)
+    store = SharedPointStore.create(np.arange(len(points)), points)
+    try:
+        trees = {
+            spec.shard_id: build_shard_tree(
+                store, spec.positions, method=method
+            )
+            for spec in specs
+        }
+        routed_somewhere = 0
+        pruned_somewhere = 0
+        for qseed in range(N_QUERIES):
+            query = seeded_query(dim, 9_000 + 7 * qseed)
+            rect = SearchStage(db.index).prepare(
+                query, make_strategies("all"), QueryStats()
+            )
+            if rect is None:
+                # Some strategy proved the result empty before Phase 1 —
+                # the engine dispatches nothing, trivially sound.
+                continue
+            oracle = set(db.index.range_search_rect(rect))
+            routed = [s for s in specs if s.mbr.intersects(rect)]
+            skipped = [s for s in specs if not s.mbr.intersects(rect)]
+            routed_somewhere += bool(routed)
+            pruned_somewhere += bool(skipped)
+            union: set[int] = set()
+            for spec in routed:
+                union |= set(trees[spec.shard_id].range_search_rect(rect))
+            assert union == oracle, (
+                f"dim={dim} shards={n_shards} method={method} qseed={qseed}: "
+                f"routed union lost {sorted(oracle - union)} / "
+                f"invented {sorted(union - oracle)}"
+            )
+            for spec in skipped:
+                extra = trees[spec.shard_id].range_search_rect(rect)
+                assert extra == [], (
+                    f"skipped shard {spec.shard_id} held candidates {extra}"
+                )
+        # The seeded workload must actually exercise both branches.
+        assert routed_somewhere > 0, "no query routed to any shard"
+        assert pruned_somewhere > 0, "no query ever pruned a shard"
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("method", ["str", "hilbert"])
+def test_partition_is_a_partition(method):
+    """Shards cover every position exactly once and MBRs are tight."""
+    points = point_cloud(2, seed=404)
+    specs = partition_positions(points, 5, method=method)
+    seen: list[int] = []
+    for spec in specs:
+        seen.extend(int(p) for p in spec.positions)
+        block = points[spec.positions]
+        assert np.allclose(spec.mbr.lows, block.min(axis=0))
+        assert np.allclose(spec.mbr.highs, block.max(axis=0))
+    assert sorted(seen) == list(range(len(points)))
+
+
+def test_partition_argument_validation():
+    points = point_cloud(2, seed=404)
+    with pytest.raises(QueryError):
+        partition_positions(points, 0)
+    with pytest.raises(QueryError):
+        partition_positions(points, len(points) + 1)
+    with pytest.raises(QueryError):
+        partition_positions(points, 2, method="zorder")
+
+
+def test_single_shard_routes_everything():
+    """With one shard the MBR is the dataset MBR: every non-empty query
+    routes to it, so the sharded candidate set is trivially complete."""
+    points = point_cloud(2, seed=505)
+    db = SpatialDatabase(points)
+    (spec,) = partition_positions(points, 1)
+    hits = 0
+    for qseed in range(N_QUERIES):
+        query = seeded_query(2, 20_000 + qseed)
+        rect = SearchStage(db.index).prepare(
+            query, make_strategies("all"), QueryStats()
+        )
+        if rect is None:
+            continue
+        oracle = db.index.range_search_rect(rect)
+        if oracle and spec.mbr.intersects(rect):
+            hits += 1
+        assert not oracle or spec.mbr.intersects(rect)
+    assert hits > 0
+
+
+def test_end_to_end_candidate_parity_through_pool():
+    """The full scatter–gather path retrieves exactly the unsharded
+    Phase-1 candidate count and returns the identical answer set."""
+    from repro.integrate import ExactIntegrator
+
+    points = point_cloud(2, seed=606)
+    db = SpatialDatabase(points)
+    queries = [seeded_query(2, 31_000 + 11 * s) for s in range(6)]
+    baseline = db.engine(
+        strategies="all", integrator=ExactIntegrator()
+    ).run_batch(queries, base_seed=1)
+    with db.shard(3) as sharded:
+        engine = sharded.engine(
+            strategies="all", integrator=ExactIntegrator()
+        )
+        batch = engine.run_batch(queries, base_seed=1)
+    for got, want in zip(batch.results, baseline.results):
+        assert got.ids == want.ids
+        assert got.stats.retrieved == want.stats.retrieved
