@@ -7,8 +7,9 @@ Commands
     Generate a small dataset, run one probabilistic range query with every
     strategy combination, and print the comparison.
 ``query``
-    Run one PRQ against a saved database (``.npz`` from
-    :meth:`SpatialDatabase.save`) or a freshly generated dataset.
+    Run one PRQ against a saved database (a ``.soa`` store or legacy
+    ``.npz`` from :meth:`SpatialDatabase.save`) or a freshly generated
+    dataset.
 ``explain``
     Print the query plan — strategy regions, BF radii, predicted phase-3
     candidates and (with ``--strategies auto``) the cost-based planner's
@@ -16,7 +17,11 @@ Commands
 ``catalog``
     Build an r_θ or BF U-catalog and write it to JSON.
 ``dataset``
-    Generate one of the synthetic datasets and save it as ``.npz``.
+    Generate one of the synthetic datasets and save it (``--format npz``
+    portable archive, or ``soa`` memory-mapped store).
+``kernels``
+    Show which kernel backend (compiled C or NumPy fallback) this
+    process selected, per kernel, and the compile cache location.
 ``experiment``
     Run one of the paper's experiments and print its table (``all`` runs
     the complete report).
@@ -67,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=0)
 
     query = commands.add_parser("query", help="query a saved database")
-    query.add_argument("database", help=".npz file from SpatialDatabase.save")
+    query.add_argument("database", help="database file from SpatialDatabase.save (.soa store or legacy .npz)")
     query.add_argument("--center", type=float, nargs="+", default=None)
     query.add_argument("--sigma-scale", type=float, default=1.0,
                        help="isotropic covariance scale (variance)")
@@ -110,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain = commands.add_parser(
         "explain", help="show the query plan without integrating"
     )
-    explain.add_argument("database", help=".npz file from SpatialDatabase.save")
+    explain.add_argument("database", help="database file from SpatialDatabase.save (.soa store or legacy .npz)")
     explain.add_argument("--center", type=float, nargs="+", required=True)
     explain.add_argument("--sigma-scale", type=float, default=1.0,
                          help="isotropic covariance scale (variance)")
@@ -139,10 +144,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     dataset = commands.add_parser("dataset", help="generate a dataset")
     dataset.add_argument("kind", choices=["road", "corel", "uniform"])
-    dataset.add_argument("output", help=".npz file to write")
+    dataset.add_argument("output", help="database file to write")
     dataset.add_argument("--size", type=int, default=None)
     dataset.add_argument("--dim", type=int, default=2)
     dataset.add_argument("--seed", type=int, default=0)
+    dataset.add_argument(
+        "--format", choices=["npz", "soa"], default="npz",
+        help="npz (default, portable archive) or soa (memory-mapped "
+        "store with O(1) load)",
+    )
+
+    commands.add_parser(
+        "kernels",
+        help="show the compiled-kernel backend selected for this process",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -166,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="run the embedded query service over JSON-lines requests"
     )
-    serve.add_argument("database", help=".npz file from SpatialDatabase.save")
+    serve.add_argument("database", help="database file from SpatialDatabase.save (.soa store or legacy .npz)")
     serve.add_argument("--requests", default="-", metavar="FILE",
                        help="JSON-lines request file ('-' = stdin, default); "
                        'each line: {"center": [...], "delta": d, "theta": t, '
@@ -298,10 +313,25 @@ def _export_obs(obs, args) -> None:
         print(f"wrote metrics to {args.metrics_out}")
 
 
-def _cmd_query(args) -> int:
-    from repro import SpatialDatabase
+def _load_database(path):
+    """Load a database, mapping failures onto ``error: ...`` + exit 2.
 
-    db = SpatialDatabase.load(args.database)
+    Missing, truncated, corrupt, or future-version store files raise
+    :class:`~repro.errors.DatabaseLoadError` naming the path; a CLI user
+    should see that one-line diagnostic, not a traceback.
+    """
+    from repro import SpatialDatabase
+    from repro.errors import DatabaseLoadError
+
+    try:
+        return SpatialDatabase.load(path)
+    except DatabaseLoadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
+def _cmd_query(args) -> int:
+    db = _load_database(args.database)
     if args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}",
               file=sys.stderr)
@@ -419,10 +449,10 @@ def _run_query_batch(db, args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    from repro import Gaussian, SpatialDatabase
+    from repro import Gaussian
     from repro.core.query import ProbabilisticRangeQuery
 
-    db = SpatialDatabase.load(args.database)
+    db = _load_database(args.database)
     center = np.asarray(args.center, dtype=float)
     if center.size != db.dim:
         print(f"error: database is {db.dim}-dimensional, got "
@@ -438,10 +468,7 @@ def _cmd_explain(args) -> int:
     if db.dim <= 3:
         from repro.core.selectivity import SelectivityEstimator
 
-        object_ids = db.index.ids()
-        estimator = SelectivityEstimator(
-            np.vstack([db.index.get(i) for i in object_ids])
-        )
+        estimator = SelectivityEstimator(np.asarray(db.points))
     print(engine.explain(query, estimator=estimator).render())
     return 0
 
@@ -484,11 +511,27 @@ def _cmd_dataset(args) -> int:
     else:
         size = args.size or 10_000
         points = uniform_points(size, args.dim, seed=args.seed)
-    np.savez_compressed(
-        args.output, ids=np.arange(points.shape[0]), points=points
-    )
+    if args.format == "soa":
+        from repro.core.storage import write_soa
+
+        write_soa(args.output, np.arange(points.shape[0]), points)
+    else:
+        np.savez_compressed(
+            args.output, ids=np.arange(points.shape[0]), points=points
+        )
     print(f"wrote {points.shape[0]} x {points.shape[1]} {args.kind} points "
           f"to {args.output}")
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    from repro import kernels
+    from repro.kernels.build import cache_dir
+
+    print(f"backend: {kernels.backend()}")
+    print(f"cache:   {cache_dir()}")
+    for row in kernels.kernel_table():
+        print(f"  {row['kernel']:36s} {row['backend']}")
     return 0
 
 
@@ -586,11 +629,10 @@ def _cmd_serve(args) -> int:
     import json
     from pathlib import Path
 
-    from repro import SpatialDatabase
     from repro.errors import ReproError
     from repro.serve import STATUS_FAILED
 
-    db = SpatialDatabase.load(args.database)
+    db = _load_database(args.database)
     if args.requests == "-":
         lines = sys.stdin.read().splitlines()
     else:
@@ -670,6 +712,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "catalog": _cmd_catalog,
     "dataset": _cmd_dataset,
+    "kernels": _cmd_kernels,
     "experiment": _cmd_experiment,
     "figures": _cmd_figures,
     "serve": _cmd_serve,

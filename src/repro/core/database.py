@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core import storage
 from repro.core.engine import QueryEngine, QueryResult
 from repro.core.planner import QueryPlanner
 from repro.core.query import ProbabilisticRangeQuery
@@ -54,42 +55,79 @@ class SpatialDatabase:
         points: np.ndarray,
         ids: Iterable[int] | None = None,
         index: SpatialIndex | None = None,
+        *,
+        defer_index: bool = False,
+        _backing=None,
     ):
         pts = np.asarray(points, dtype=float)
         if pts.ndim != 2 or pts.shape[0] == 0:
             raise QueryError(
                 f"points must be a non-empty (n, d) array, got shape {pts.shape}"
             )
-        id_list = list(ids) if ids is not None else list(range(pts.shape[0]))
-        if len(id_list) != pts.shape[0]:
+        if ids is None:
+            id_arr = np.arange(pts.shape[0], dtype=np.int64)
+        else:
+            if not isinstance(ids, (np.ndarray, list, tuple)):
+                ids = list(ids)
+            id_arr = np.asarray(ids, dtype=np.int64)
+        if id_arr.shape != (pts.shape[0],):
             raise QueryError(
-                f"{len(id_list)} ids provided for {pts.shape[0]} points"
+                f"{id_arr.size} ids provided for {pts.shape[0]} points"
             )
-        self._index = index if index is not None else RStarTree(pts.shape[1])
-        if len(self._index) != 0:
-            raise QueryError("index must be empty; the database loads it itself")
-        if self._index.dim != pts.shape[1]:
-            raise QueryError(
-                f"index dimension {self._index.dim} does not match points "
-                f"dimension {pts.shape[1]}"
-            )
-        self._index.bulk_load(id_list, pts)
+        if index is not None:
+            if len(index) != 0:
+                raise QueryError(
+                    "index must be empty; the database loads it itself"
+                )
+            if index.dim != pts.shape[1]:
+                raise QueryError(
+                    f"index dimension {index.dim} does not match points "
+                    f"dimension {pts.shape[1]}"
+                )
+        self._points = pts
+        self._ids = id_arr
+        self._backing = _backing  # keeps a memory-mapped store file alive
+        self._pending_index = index
+        self._built_index: SpatialIndex | None = None
         self._default_planner: QueryPlanner | None = None
+        if not defer_index:
+            self._ensure_index()
+
+    def _ensure_index(self) -> SpatialIndex:
+        """Build the spatial index on first use (deferred for O(1) load)."""
+        if self._built_index is None:
+            index = self._pending_index
+            if index is None:
+                index = RStarTree(self._points.shape[1])
+            index.bulk_load([int(i) for i in self._ids], self._points)
+            self._built_index = index
+            self._pending_index = None
+        return self._built_index
 
     @property
     def index(self) -> SpatialIndex:
-        return self._index
+        return self._ensure_index()
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Object ids, aligned with :attr:`points` rows.  Do not mutate."""
+        return self._ids
+
+    @property
+    def points(self) -> np.ndarray:
+        """(n, d) object locations (possibly memory-mapped).  Do not mutate."""
+        return self._points
 
     @property
     def dim(self) -> int:
-        return self._index.dim
+        return self._points.shape[1]
 
     def __len__(self) -> int:
-        return len(self._index)
+        return self._points.shape[0]
 
     def point(self, obj_id: int) -> np.ndarray:
         """Location of one object."""
-        return self._index.get(obj_id)
+        return self.index.get(obj_id)
 
     # ------------------------------------------------------------------
     # Classical queries
@@ -97,11 +135,11 @@ class SpatialDatabase:
 
     def range_query(self, center: _ArrayLike, radius: float) -> list[int]:
         """Ids within ``radius`` of ``center`` (the paper's baseline query)."""
-        return self._index.range_search_sphere(center, radius)
+        return self.index.range_search_sphere(center, radius)
 
     def knn(self, center: _ArrayLike, k: int) -> list[tuple[int, float]]:
         """The k nearest (id, distance) pairs, nearest first."""
-        return self._index.knn(center, k)
+        return self.index.knn(center, k)
 
     # ------------------------------------------------------------------
     # Probabilistic range queries
@@ -169,7 +207,7 @@ class SpatialDatabase:
                 else list(strategies)
             )
         return QueryEngine(
-            self._index,
+            self.index,
             strategy_list,
             integrator,
             phase1=phase1,
@@ -194,12 +232,11 @@ class SpatialDatabase:
         return self._default_planner
 
     def _build_planner(self, **kwargs) -> QueryPlanner:
-        object_ids = self._index.ids()
-        points = np.vstack([self._index.get(i) for i in object_ids])
+        points = self._points
         bounds = Rect(points.min(axis=0), points.max(axis=0))
         if "estimator" not in kwargs and self.dim <= 3:
             kwargs["estimator"] = SelectivityEstimator(points)
-        kwargs.setdefault("total_points", len(object_ids))
+        kwargs.setdefault("total_points", points.shape[0])
         kwargs.setdefault("data_bounds", bounds)
         return QueryPlanner(**kwargs)
 
@@ -243,17 +280,17 @@ class SpatialDatabase:
             # RR+OR only: neither strategy ACCEPTs, so every surviving
             # candidate gets an actual probability for the ranking.
             strategies = make_strategies("rr+or")
-            engine = QueryEngine(self._index, strategies, evaluator)
+            engine = QueryEngine(self.index, strategies, evaluator)
             from repro.core.stats import QueryStats
 
             stats = QueryStats()
             rect = engine.prepare_search(query, stats)
             candidate_ids = (
-                self._index.range_search_rect(rect) if rect is not None else []
+                self.index.range_search_rect(rect) if rect is not None else []
             )
             scored: list[tuple[int, float]] = []
             if candidate_ids:
-                points = np.vstack([self._index.get(i) for i in candidate_ids])
+                points = np.vstack([self.index.get(i) for i in candidate_ids])
                 undecided = np.ones(len(candidate_ids), dtype=bool)
                 for strategy in strategies:
                     codes = strategy.classify(points[undecided])
@@ -341,26 +378,61 @@ class SpatialDatabase:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, path) -> None:
-        """Persist ids and points to an ``.npz`` file.
+    def save(self, path, *, format: str = "soa") -> None:
+        """Persist ids and points; the index is rebuilt lazily on load.
 
-        The index is rebuilt (STR bulk load) on :meth:`load` rather than
-        serialized node-by-node — packing is deterministic and rebuilding
-        50k points takes well under a second.
+        The default ``format="soa"`` writes the versioned memory-mapped
+        structure-of-arrays file of :mod:`repro.core.storage`, which
+        :meth:`load` maps in O(1) without reading the data.
+        ``format="npz"`` writes the legacy compressed archive.
+
+        .. deprecated::
+            ``format="npz"`` is kept for one release as a compatibility
+            escape hatch; new code should use the default.  Legacy
+            archives will remain *loadable* indefinitely.
         """
-        object_ids = self._index.ids()
-        points = np.vstack([self._index.get(i) for i in object_ids])
-        np.savez_compressed(path, ids=np.asarray(object_ids), points=points)
+        if format == "soa":
+            storage.write_soa(path, self._ids, self._points)
+        elif format == "npz":
+            np.savez_compressed(path, ids=self._ids, points=self._points)
+        else:
+            raise QueryError(
+                f"unknown save format {format!r}; use 'soa' or 'npz'"
+            )
 
     @classmethod
     def load(cls, path, index: SpatialIndex | None = None) -> "SpatialDatabase":
-        """Rebuild a database saved with :meth:`save`.
+        """Open a database saved with :meth:`save`.
+
+        The file format is sniffed from the content: structure-of-arrays
+        store files are memory-mapped — an O(1) operation with the index
+        built lazily on first query — while legacy ``.npz`` archives load
+        through the original decompress-and-copy migration path.
 
         Raises :class:`repro.errors.DatabaseLoadError` — naming the path
         and the underlying failure — when the file is missing, truncated
         or otherwise corrupt, instead of leaking a raw IO/unzip traceback
         from NumPy's archive reader.
         """
+        if storage.is_soa_file(path):
+            store = storage.open_soa(path)
+            try:
+                return cls(
+                    store.points,
+                    ids=store.ids,
+                    index=index,
+                    defer_index=True,
+                    _backing=store,
+                )
+            except (QueryError, TypeError, ValueError) as exc:
+                raise DatabaseLoadError(
+                    path, f"store contents are invalid ({exc})"
+                ) from exc
+        return cls._load_npz(path, index)
+
+    @classmethod
+    def _load_npz(cls, path, index: SpatialIndex | None) -> "SpatialDatabase":
+        """Migration shim for legacy compressed ``.npz`` archives."""
         import zipfile
 
         try:

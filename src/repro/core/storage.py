@@ -1,0 +1,162 @@
+"""Versioned memory-mapped structure-of-arrays database files.
+
+The legacy ``SpatialDatabase.save`` format was a compressed ``.npz``
+archive: loading decompresses and copies every byte, so startup cost is
+O(data) and shard workers each need their own copy of the pages.  This
+module defines the replacement — a flat binary layout that ``np.memmap``
+can expose without reading the arrays at all:
+
+====== ======= ==================================================
+offset size    contents
+====== ======= ==================================================
+0      8       magic ``b"RPROSOA1"``
+8      4       format version (little-endian u32, currently 1)
+12     4       dimensionality d (u32)
+16     8       point count n (u64)
+24     8       ids column offset (u64, 64-byte aligned)
+32     8       points column offset (u64, 64-byte aligned)
+40     24      reserved (zero)
+====== ======= ==================================================
+
+followed by the ids column (n × int64) and the points column
+(n × d × float64, row-major), each starting on a 64-byte boundary.  All
+values are little-endian.  Opening a store validates the header and the
+file size but touches no data pages — ``SpatialDatabase.load`` is O(1)
+regardless of n — and the mapped columns are shared read-only by every
+process that opens the same file (``repro.shard`` serves workers straight
+from the mapping).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatabaseLoadError
+
+__all__ = [
+    "SOA_MAGIC",
+    "SOA_VERSION",
+    "SoaStore",
+    "is_soa_file",
+    "open_soa",
+    "write_soa",
+]
+
+SOA_MAGIC = b"RPROSOA1"
+SOA_VERSION = 1
+
+#: magic, version, dim, n, ids_offset, points_offset, 24 reserved bytes.
+_HEADER = struct.Struct("<8sIIQQQ24x")
+_ALIGN = 64
+
+assert _HEADER.size == _ALIGN
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SoaStore:
+    """A read-only view over one store file: header fields + mapped columns.
+
+    ``ids`` and ``points`` are ``np.memmap`` arrays (mode ``"r"``): the
+    OS pages them in on first touch and shares the physical pages between
+    every process mapping the same file.
+    """
+
+    def __init__(self, path, n: int, dim: int, ids_offset: int, points_offset: int):
+        self.path = str(path)
+        self.n = n
+        self.dim = dim
+        self.ids_offset = ids_offset
+        self.points_offset = points_offset
+        self.ids = np.memmap(
+            self.path, dtype="<i8", mode="r", offset=ids_offset, shape=(n,)
+        )
+        self.points = np.memmap(
+            self.path, dtype="<f8", mode="r", offset=points_offset, shape=(n, dim)
+        )
+
+    def __repr__(self) -> str:
+        return f"SoaStore(path={self.path!r}, n={self.n}, dim={self.dim})"
+
+
+def write_soa(path, ids: np.ndarray, points: np.ndarray) -> None:
+    """Write ids/points as one versioned, aligned structure-of-arrays file."""
+    pts = np.ascontiguousarray(points, dtype="<f8")
+    id_arr = np.ascontiguousarray(ids, dtype="<i8")
+    n, dim = pts.shape
+    ids_offset = _align(_HEADER.size)
+    points_offset = _align(ids_offset + id_arr.nbytes)
+    header = _HEADER.pack(
+        SOA_MAGIC, SOA_VERSION, dim, n, ids_offset, points_offset
+    )
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(b"\0" * (ids_offset - fh.tell()))
+        fh.write(id_arr.tobytes())
+        fh.write(b"\0" * (points_offset - ids_offset - id_arr.nbytes))
+        fh.write(pts.tobytes())
+
+
+def is_soa_file(path) -> bool:
+    """True when ``path`` starts with the store magic (format sniffing)."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(SOA_MAGIC)) == SOA_MAGIC
+    except OSError:
+        return False
+
+
+def open_soa(path) -> SoaStore:
+    """Map an existing store file; O(1) — no data pages are read.
+
+    Raises :class:`repro.errors.DatabaseLoadError` naming the path for a
+    missing file, a short or garbled header, an unsupported version, or a
+    file too small to hold the columns its header promises.
+    """
+    try:
+        size = Path(path).stat().st_size
+        with open(path, "rb") as fh:
+            raw = fh.read(_HEADER.size)
+    except FileNotFoundError as exc:
+        raise DatabaseLoadError(path, "file does not exist") from exc
+    except OSError as exc:
+        raise DatabaseLoadError(path, f"truncated or corrupt store ({exc})") from exc
+    if len(raw) < _HEADER.size:
+        raise DatabaseLoadError(
+            path,
+            f"truncated or corrupt store (header is {len(raw)} bytes, "
+            f"need {_HEADER.size})",
+        )
+    magic, version, dim, n, ids_offset, points_offset = _HEADER.unpack(raw)
+    if magic != SOA_MAGIC:
+        raise DatabaseLoadError(
+            path, f"not a SpatialDatabase store (bad magic {magic!r})"
+        )
+    if version != SOA_VERSION:
+        raise DatabaseLoadError(
+            path,
+            f"unsupported store version {version} (this build reads "
+            f"version {SOA_VERSION})",
+        )
+    if n == 0 or dim == 0:
+        raise DatabaseLoadError(
+            path, f"truncated or corrupt store (n={n}, dim={dim})"
+        )
+    end = points_offset + n * dim * 8
+    if ids_offset < _HEADER.size or points_offset < ids_offset + n * 8 or size < end:
+        raise DatabaseLoadError(
+            path,
+            f"truncated or corrupt store (file holds {size} bytes, "
+            f"columns need {end})",
+        )
+    try:
+        return SoaStore(path, n, dim, ids_offset, points_offset)
+    except (OSError, ValueError) as exc:
+        raise DatabaseLoadError(
+            path, f"truncated or corrupt store ({exc})"
+        ) from exc

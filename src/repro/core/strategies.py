@@ -23,6 +23,7 @@ import copy
 
 import numpy as np
 
+from repro import kernels
 from repro.catalog.bf import BFLookup, alpha_radii
 from repro.catalog.rtheta import ExactRThetaLookup, RThetaLookup
 from repro.errors import CatalogError, QueryError
@@ -165,7 +166,18 @@ class RectilinearStrategy(Strategy):
         return codes
 
     def classify_many(self, points: np.ndarray) -> np.ndarray:
-        return self.classify(points)  # already one vectorised pass
+        region = self.region
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        codes = np.full(pts.shape[0], UNKNOWN, dtype=np.int8)
+        if self.fringe_filter == "off":
+            return codes
+        if self.fringe_filter == "paper" and region.dim != 2:
+            return codes
+        contains = kernels.minkowski_contains(
+            pts, region.core.lows, region.core.highs, region.delta
+        )
+        codes[~contains] = REJECT
+        return codes
 
 
 class ObliqueStrategy(Strategy):
@@ -208,7 +220,14 @@ class ObliqueStrategy(Strategy):
         return codes
 
     def classify_many(self, points: np.ndarray) -> np.ndarray:
-        return self.classify(points)  # already one vectorised pass
+        box = self.box
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        codes = np.full(pts.shape[0], UNKNOWN, dtype=np.int8)
+        contains = kernels.oblique_contains(
+            pts, box.center, box.transform.basis, box.half_widths
+        )
+        codes[~contains] = REJECT
+        return codes
 
 
 class BoundingFunctionStrategy(Strategy):
@@ -275,7 +294,14 @@ class BoundingFunctionStrategy(Strategy):
         return codes
 
     def classify_many(self, points: np.ndarray) -> np.ndarray:
-        return self.classify(points)  # already one vectorised pass
+        if not self._prepared:
+            raise QueryError("BF strategy used before prepare()")
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if self.alpha_upper is None:
+            return np.full(pts.shape[0], REJECT, dtype=np.int8)
+        return kernels.bf_classify(
+            pts, self._center, self.alpha_upper, self.alpha_lower
+        )
 
 
 class EllipsoidStrategy(Strategy):

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import integrate, special
 
+from repro import kernels
 from repro.errors import GeometryError, IntegrationError
 from repro.gaussian.distribution import Gaussian
 
@@ -109,8 +110,10 @@ class GaussianQuadraticForm:
                 f"points shape {pts.shape} does not match Gaussian dim "
                 f"{gaussian.dim}"
             )
-        rotated = (gaussian.mean[None, :] - pts) @ gaussian.basis
-        return gaussian.eigenvalues, rotated**2 / gaussian.eigenvalues
+        ncs = kernels.squared_distance_noncentralities(
+            gaussian.mean, gaussian.basis, gaussian.eigenvalues, pts
+        )
+        return gaussian.eigenvalues, ncs
 
     def mean(self) -> float:
         """E[Q] = Σ λⱼ (hⱼ + δⱼ²)."""
@@ -307,106 +310,16 @@ def ruben_series_block(
     as soon as its [lower, upper] interval excludes θ; without it (or for
     genuinely borderline candidates) it stops once the interval is
     narrower than ``tol``.
+
+    The evaluation runs on the compiled kernel backend when available and
+    on the arena-buffered NumPy fallback otherwise (see
+    :mod:`repro.kernels`); the compiled path may return marginally wider
+    — never unsound — bounds.
     """
-    lam = np.asarray(weights, dtype=float)
-    h = np.asarray(dofs, dtype=float)
-    ncs = np.atleast_2d(np.asarray(noncentralities, dtype=float))
-    m = ncs.shape[0]
-    lower = np.zeros(m)
-    upper = np.ones(m)
-    ok = np.ones(m, dtype=bool)
-    if m == 0:
-        return lower, upper, ok
-    if x <= 0:
-        return lower, np.zeros(m), ok  # P(Q <= x) = 0 exactly
-
-    beta = float(lam.min())
-    ratios = 1.0 - beta / lam  # r_j in [0, 1)
-    rho = float(h.sum())
-    log_a0 = -0.5 * ncs.sum(axis=1) + 0.5 * float(np.sum(h * np.log(beta / lam)))
-    usable = log_a0 >= -700.0
-    ok &= usable
-    rows = np.nonzero(usable)[0]
-    if rows.size == 0:
-        return lower, upper, ok
-
-    n = rows.size
-    capacity = 64
-    a = np.zeros((n, capacity))
-    g = np.zeros((n, capacity))
-    a[:, 0] = np.exp(log_a0[rows])
-    weight_sum = a[:, 0].copy()
-    scaled_half_x = x / (2.0 * beta)
-    gamma_k = float(special.gammainc(rho / 2.0, scaled_half_x))
-    cdf = a[:, 0] * gamma_k
-    nc_over_lam = ncs[rows] / lam
-    ratio_pow = np.ones_like(ratios)  # r_j^(k-1) entering iteration k
-    lo = np.zeros(n)
-    hi = np.ones(n)
-    active = np.ones(n, dtype=bool)
-
-    def settle(idx: np.ndarray) -> None:
-        """Record bounds for ``idx`` and retire the decided candidates.
-
-        The tail Σ_{k>K} a_k·G_k is bounded below by 0 and above by the
-        remaining mass times the current G_K (G_k decreases in k), so the
-        interval [cdf, cdf + rem·G_K] always contains the true CDF.
-        """
-        rem = np.maximum(1.0 - weight_sum[idx], 0.0)
-        lo[idx] = np.clip(cdf[idx], 0.0, 1.0)
-        hi[idx] = np.clip(cdf[idx] + rem * gamma_k, 0.0, 1.0)
-        done = hi[idx] - lo[idx] < tol
-        if theta is not None:
-            done |= (lo[idx] >= theta) | (hi[idx] < theta)
-        active[idx[done]] = False
-
-    settle(np.arange(n))
-    for k in range(1, max_terms + 1):
-        idx = np.nonzero(active)[0]
-        if idx.size == 0:
-            break
-        if k >= capacity:
-            grown = capacity * 2
-            a = np.concatenate([a, np.zeros((n, grown - capacity))], axis=1)
-            g = np.concatenate([g, np.zeros((n, grown - capacity))], axis=1)
-            capacity = grown
-        shared = float(np.sum(h * ratio_pow * ratios))  # Σ h_j r_j^k
-        g[idx, k - 1] = shared + k * beta * (nc_over_lam[idx] @ ratio_pow)
-        ratio_pow = ratio_pow * ratios
-        # a_k = (1/(2k)) Σ_{r=1..k} g_r a_{k-r}: one rolling dot per row.
-        a[idx, k] = (
-            np.einsum("ij,ij->i", g[idx, :k], a[idx, k - 1 :: -1]) / (2.0 * k)
-        )
-        weight_sum[idx] += a[idx, k]
-        gamma_k = float(special.gammainc((rho + 2 * k) / 2.0, scaled_half_x))
-        cdf[idx] += a[idx, k] * gamma_k
-        settle(idx)
-    ok[rows[active]] = False  # undecided at max_terms: caller falls back
-    lower[rows] = lo
-    upper[rows] = hi
-    return lower, upper, ok
-
-
-def _sandwich_core(
-    x: float, df: float, nc_totals: np.ndarray, lam_min: float, lam_max: float
-) -> np.ndarray:
-    """Shared (m, 2) sandwich-bound evaluation over total noncentralities."""
-    from scipy import stats as _stats
-
-    nc_totals = np.asarray(nc_totals, dtype=float)
-    bounds = np.zeros((nc_totals.size, 2))
-    if x <= 0:
-        return bounds
-    noncentral = nc_totals > 0
-    if np.any(noncentral):
-        nc = nc_totals[noncentral]
-        bounds[noncentral, 0] = _stats.ncx2.cdf(x / lam_max, df, nc)
-        bounds[noncentral, 1] = _stats.ncx2.cdf(x / lam_min, df, nc)
-    if not np.all(noncentral):
-        central = ~noncentral
-        bounds[central, 0] = _stats.chi2.cdf(x / lam_max, df)
-        bounds[central, 1] = _stats.chi2.cdf(x / lam_min, df)
-    return bounds
+    return kernels.ruben_block(
+        weights, dofs, noncentralities, x,
+        theta=theta, tol=tol, max_terms=max_terms,
+    )
 
 
 def chi2_sandwich_bounds(
@@ -416,10 +329,14 @@ def chi2_sandwich_bounds(
 
     Since λ_min·χ²_d(Σδ²) ≤ Q ≤ λ_max·χ²_d(Σδ²) pointwise (with the same
     underlying normals), the noncentral-χ² CDF evaluated at x/λ_max and
-    x/λ_min sandwiches the true CDF.  Thin scalar wrapper over the
-    vectorised block path.
+    x/λ_min sandwiches the true CDF.  The scalar path always uses the
+    exact SciPy evaluation — it feeds the 1e−14 tail shortcut in
+    :func:`qualification_probability_exact`, where the compiled backend's
+    widening epsilon would defeat the comparison.
     """
-    bounds = _sandwich_core(
+    from repro.kernels import fallback as _fallback
+
+    bounds = _fallback.chi2_sandwich_block(
         float(x),
         float(form.dofs.sum()),
         np.array([form.noncentralities.sum()]),
@@ -430,24 +347,42 @@ def chi2_sandwich_bounds(
 
 
 def chi2_sandwich_bounds_block(
-    gaussian: Gaussian, points: np.ndarray, delta: float
+    gaussian: Gaussian, points: np.ndarray, delta: float, *,
+    dtype: str = "float64",
 ) -> np.ndarray:
     """Sandwich bounds on P(‖x − pointsᵢ‖ ≤ delta) for an (m, d) block.
 
-    One vectorised noncentral-χ² CDF call covers every candidate: the
-    degrees of freedom and the weight extrema are shared per query, only
-    the total noncentralities vary by row.  Returns an ``(m, 2)`` array of
-    [lower, upper] bounds.
+    The degrees of freedom and the weight extrema are shared per query,
+    only the total noncentralities vary by row; returns an ``(m, 2)``
+    array of [lower, upper] bounds, sound on every backend.
+
+    ``dtype="float32"`` selects the compiled fast path that rotates the
+    candidates in single precision: a rigorous rotation error bound is
+    converted into a noncentrality interval and the CDF is evaluated at
+    its pessimal end, so the bounds stay conservative (slightly wider,
+    never unsound).  Without the compiled backend it silently evaluates
+    the exact float64 pipeline.
     """
-    weights, ncs = GaussianQuadraticForm.squared_distance_spectrum(
-        gaussian, points
+    if dtype not in ("float64", "float32"):
+        raise GeometryError(f"unknown dtype {dtype!r}; use 'float64' or 'float32'")
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.ndim != 2 or pts.shape[1] != gaussian.dim:
+        raise GeometryError(
+            f"points shape {pts.shape} does not match Gaussian dim {gaussian.dim}"
+        )
+    threshold = float(delta) ** 2
+    lam_min = float(gaussian.eigenvalues.min())
+    lam_max = float(gaussian.eigenvalues.max())
+    if dtype == "float32":
+        return kernels.chi2_sandwich_block_f32(
+            gaussian.mean, gaussian.basis, gaussian.eigenvalues, pts,
+            threshold, float(gaussian.dim), lam_min, lam_max,
+        )
+    ncs = kernels.squared_distance_noncentralities(
+        gaussian.mean, gaussian.basis, gaussian.eigenvalues, pts
     )
-    return _sandwich_core(
-        float(delta) ** 2,
-        float(weights.size),
-        ncs.sum(axis=1),
-        float(weights.min()),
-        float(weights.max()),
+    return kernels.chi2_sandwich_block(
+        threshold, float(gaussian.dim), ncs.sum(axis=1), lam_min, lam_max
     )
 
 

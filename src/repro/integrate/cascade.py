@@ -65,17 +65,36 @@ class CascadeIntegrator(ProbabilityIntegrator):
         in play.
     max_terms:
         Ruben series term cap per candidate before falling back to Imhof.
+    fast_dtype:
+        Precision of the tier-1 candidate rotation: ``"float64"``
+        (default, exact) or ``"float32"`` — the compiled single-precision
+        fast path whose rotation error is absorbed into conservatively
+        widened bounds, so decisions stay sound either way (see
+        :func:`repro.gaussian.quadform.chi2_sandwich_bounds_block`).
+        Borderline candidates the wider float32 interval cannot decide
+        simply continue to tier 2.
     """
 
     name = "cascade"
 
-    def __init__(self, *, tol: float = 1e-9, max_terms: int = 10_000):
+    def __init__(
+        self,
+        *,
+        tol: float = 1e-9,
+        max_terms: int = 10_000,
+        fast_dtype: str = "float64",
+    ):
         if not 0 < tol < 1:
             raise IntegrationError(f"tol must lie in (0, 1), got {tol}")
         if max_terms < 1:
             raise IntegrationError(f"max_terms must be >= 1, got {max_terms}")
+        if fast_dtype not in ("float64", "float32"):
+            raise IntegrationError(
+                f"fast_dtype must be 'float64' or 'float32', got {fast_dtype!r}"
+            )
         self.tol = float(tol)
         self.max_terms = int(max_terms)
+        self.fast_dtype = fast_dtype
 
     @property
     def cost_per_candidate(self) -> float:
@@ -144,7 +163,9 @@ class CascadeIntegrator(ProbabilityIntegrator):
         with (
             obs.span("tier:sandwich") if obs is not None else NULL_SPAN
         ) as span:
-            bounds = chi2_sandwich_bounds_block(gaussian, pts, delta)
+            bounds = chi2_sandwich_bounds_block(
+                gaussian, pts, delta, dtype=self.fast_dtype
+            )
             lower, upper = bounds[:, 0].copy(), bounds[:, 1].copy()
             decided = self._decided(lower, upper, theta)
             tier[decided] = TIER_SANDWICH

@@ -13,7 +13,7 @@ from repro.shard.database import ShardedDatabase
 from repro.shard.engine import ShardedEngine, ShardPool
 from repro.shard.partition import ShardSpec, partition_positions
 from repro.shard.seeding import CandidateSeededIntegrator
-from repro.shard.shm import SharedPointStore, ShmDescriptor
+from repro.shard.shm import FileDescriptor, SharedPointStore, ShmDescriptor
 from repro.shard.worker import ShardTask, ShardTaskResult
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "CandidateSeededIntegrator",
     "SharedPointStore",
     "ShmDescriptor",
+    "FileDescriptor",
     "ShardTask",
     "ShardTaskResult",
 ]

@@ -46,11 +46,21 @@ class ShardedDatabase:
         if n_shards < 1:
             raise QueryError(f"n_shards must be >= 1, got {n_shards}")
         self._database = database
-        object_ids = database.index.ids()
-        points = np.vstack([database.index.get(i) for i in object_ids])
-        self._store = SharedPointStore.create(object_ids, points)
+        backing = getattr(database, "_backing", None)
+        if backing is not None:
+            # The database is a mapped structure-of-arrays file: workers
+            # map the very same file instead of copying into fresh shm.
+            self._store = SharedPointStore.from_store_file(
+                backing.path,
+                backing.n,
+                backing.dim,
+                backing.ids_offset,
+                backing.points_offset,
+            )
+        else:
+            self._store = SharedPointStore.create(database.ids, database.points)
         self.shards: list[ShardSpec] = partition_positions(
-            points, n_shards, method=method
+            np.asarray(database.points), n_shards, method=method
         )
         self.pool = ShardPool(
             self._store,

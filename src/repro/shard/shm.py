@@ -1,18 +1,30 @@
-"""Shared-memory point storage for shard worker processes.
+"""Shared point storage for shard worker processes: shm or mapped file.
 
-One ``multiprocessing.shared_memory`` block holds the whole database —
-object ids (int64) followed by the point matrix (float64, row-major) —
-so every shard worker maps the same physical pages instead of receiving
-a pickled copy.  The block is described by a tiny picklable
-:class:`ShmDescriptor` (name, n, dim); workers attach by name and build
-views, never copies.
+Two interchangeable backings expose one ``(ids, points)`` pair to every
+worker without per-worker copies:
 
-Lifecycle: exactly one process owns the block (the one that called
-:meth:`SharedPointStore.create`) and is responsible for ``unlink``;
-every attacher only ``close``\\ s its mapping.  Attaching deregisters the
-segment from the child's ``resource_tracker`` to work around the
-well-known CPython issue where every attacher "inherits" unlink
-responsibility and spews spurious leak warnings at exit.
+- **Anonymous shared memory** — one ``multiprocessing.shared_memory``
+  block holding the object ids (int64) followed by the point matrix
+  (float64, row-major), created by copying an in-memory database once.
+  Described by :class:`ShmDescriptor`.
+- **A memory-mapped store file** — when the database came from a
+  structure-of-arrays store (:mod:`repro.core.storage`), workers simply
+  ``np.memmap`` the very same file read-only: zero copies anywhere, the
+  OS page cache *is* the shared segment.  Described by
+  :class:`FileDescriptor`.
+
+Both descriptors are tiny picklable dataclasses;
+:meth:`SharedPointStore.attach` dispatches on the type, so the worker
+code is backing-agnostic.
+
+Lifecycle (shm backing only): exactly one process owns the block (the
+one that called :meth:`SharedPointStore.create`) and is responsible for
+``unlink``; every attacher only ``close``\\ s its mapping.  Attaching
+deregisters the segment from the child's ``resource_tracker`` to work
+around the well-known CPython issue where every attacher "inherits"
+unlink responsibility and spews spurious leak warnings at exit.
+File-backed stores have no ownership at all — closing just drops the
+mapping.
 """
 
 from __future__ import annotations
@@ -24,7 +36,7 @@ import numpy as np
 
 from repro.errors import QueryError
 
-__all__ = ["ShmDescriptor", "SharedPointStore"]
+__all__ = ["FileDescriptor", "ShmDescriptor", "SharedPointStore"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +46,17 @@ class ShmDescriptor:
     name: str
     n: int
     dim: int
+
+
+@dataclass(frozen=True)
+class FileDescriptor:
+    """A store file to map directly: path, shape, and column offsets."""
+
+    path: str
+    n: int
+    dim: int
+    ids_offset: int
+    points_offset: int
 
 
 class SharedPointStore:
@@ -79,19 +102,33 @@ class SharedPointStore:
         return store
 
     @classmethod
-    def attach(
-        cls, descriptor: ShmDescriptor, *, untrack: bool = False
-    ) -> "SharedPointStore":
-        """Map an existing segment (worker side); never copies.
+    def from_store_file(
+        cls, path, n: int, dim: int, ids_offset: int, points_offset: int
+    ) -> "MappedFileStore":
+        """A store served straight from a mapped SOA file (zero copies)."""
+        return MappedFileStore(
+            FileDescriptor(str(path), n, dim, ids_offset, points_offset)
+        )
 
-        ``untrack=True`` deregisters the segment from this process's
-        ``resource_tracker``: needed under the ``spawn`` start method,
-        where CPython registers every attacher with the worker's *own*
-        tracker, which would then warn about (and unlink!) the segment
-        when the worker exits.  Under ``fork`` the tracker is shared with
-        the creator and registration is a set no-op, so deregistering
-        there would instead steal the creator's cleanup entry.
+    @classmethod
+    def attach(
+        cls, descriptor, *, untrack: bool = False
+    ) -> "SharedPointStore | MappedFileStore":
+        """Map an existing segment or store file (worker side); never copies.
+
+        Dispatches on the descriptor type: a :class:`FileDescriptor`
+        memory-maps the store file (``untrack`` is irrelevant there —
+        nothing needs unlinking).  For shm segments, ``untrack=True``
+        deregisters the segment from this process's ``resource_tracker``:
+        needed under the ``spawn`` start method, where CPython registers
+        every attacher with the worker's *own* tracker, which would then
+        warn about (and unlink!) the segment when the worker exits.
+        Under ``fork`` the tracker is shared with the creator and
+        registration is a set no-op, so deregistering there would instead
+        steal the creator's cleanup entry.
         """
+        if isinstance(descriptor, FileDescriptor):
+            return MappedFileStore(descriptor)
         shm = shared_memory.SharedMemory(name=descriptor.name, create=False)
         if untrack:
             try:  # pragma: no cover - depends on interpreter internals
@@ -121,3 +158,46 @@ class SharedPointStore:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+
+
+class MappedFileStore:
+    """The ``SharedPointStore`` surface over a memory-mapped store file.
+
+    Every process (coordinator and workers alike) maps the same file
+    read-only, so the OS page cache provides the sharing that anonymous
+    shm provides for in-memory databases — with no copy to create it and
+    nothing to unlink afterwards.
+    """
+
+    def __init__(self, descriptor: FileDescriptor):
+        if descriptor.n <= 0 or descriptor.dim <= 0:
+            raise QueryError(
+                f"store file must hold a non-empty (n, d) array, got "
+                f"n={descriptor.n}, dim={descriptor.dim}"
+            )
+        self._descriptor = descriptor
+        self.n = descriptor.n
+        self.dim = descriptor.dim
+        self.ids = np.memmap(
+            descriptor.path,
+            dtype="<i8",
+            mode="r",
+            offset=descriptor.ids_offset,
+            shape=(descriptor.n,),
+        )
+        self.points = np.memmap(
+            descriptor.path,
+            dtype="<f8",
+            mode="r",
+            offset=descriptor.points_offset,
+            shape=(descriptor.n, descriptor.dim),
+        )
+
+    @property
+    def descriptor(self) -> FileDescriptor:
+        return self._descriptor
+
+    def close(self) -> None:
+        """Drop this process's mapping (the file itself is untouched)."""
+        self.ids = None
+        self.points = None

@@ -55,8 +55,13 @@ class TestVectorisedQuadform:
         for row, point in zip(block, points):
             form = GaussianQuadraticForm.squared_distance(gaussian, point)
             lower, upper = chi2_sandwich_bounds(form, delta * delta)
-            assert row[0] == pytest.approx(lower, abs=1e-14)
-            assert row[1] == pytest.approx(upper, abs=1e-14)
+            # Sound: the block interval contains the exact scalar interval
+            # (the compiled backend widens by its numerical-error margin).
+            assert row[0] <= lower + 1e-14
+            assert row[1] >= upper - 1e-14
+            # Tight: the widening stays within the documented epsilon.
+            assert row[0] == pytest.approx(lower, abs=1e-10)
+            assert row[1] == pytest.approx(upper, abs=1e-10)
 
     def test_block_sandwich_zero_delta(self):
         gaussian, points, _ = anisotropic_case(2, seed=6)

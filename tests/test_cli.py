@@ -249,3 +249,28 @@ class TestObservabilityCLI:
         text = metrics.read_text()
         assert "repro_batch_queries_total 2" in text
         assert "repro_batch_workers 2" in text
+
+
+class TestDatabaseLoadErrors:
+    """Store-load failures surface as ``error: ...`` + exit 2, no traceback."""
+
+    @pytest.mark.parametrize("command", ["query", "explain"])
+    def test_unreadable_store_is_a_cli_error(self, command, tmp_path, capsys):
+        bad = tmp_path / "torn.soa"
+        bad.write_bytes(b"RPROSOA1\x01")  # 9 bytes of a 64-byte header
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, str(bad),
+                  "--center", "1", "1", "--delta", "5", "--theta", "0.1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert str(bad) in err
+
+    def test_missing_database_is_a_cli_error(self, tmp_path, capsys):
+        absent = tmp_path / "absent.soa"
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", str(absent),
+                  "--center", "1", "1", "--delta", "5", "--theta", "0.1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err and str(absent) in err

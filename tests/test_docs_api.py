@@ -107,3 +107,51 @@ def test_observability_doc_cross_links():
         text = (DOCS / hub).read_text()
         assert "observability.md" in text, f"docs/{hub} lost its observability link"
     assert "Measuring the paper's claims" in (DOCS / "paper_mapping.md").read_text()
+
+
+@pytest.mark.parametrize(
+    "name",
+    sorted(__import__("repro.kernels", fromlist=["__all__"]).__all__),
+)
+def test_kernels_export_is_documented(name):
+    """Every ``repro.kernels.__all__`` name must appear in the API docs."""
+    import repro.kernels
+
+    assert hasattr(repro.kernels, name), (
+        f"repro.kernels.__all__ lists missing name {name!r}"
+    )
+    api = (DOCS / "api.md").read_text()
+    arch = (DOCS / "architecture.md").read_text()
+    assert name in api or name in arch, (
+        f"repro.kernels.{name} is exported but appears in neither "
+        f"docs/api.md nor docs/architecture.md — document it (or stop "
+        f"exporting it)"
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    sorted(__import__("repro.core.storage", fromlist=["__all__"]).__all__),
+)
+def test_storage_export_is_documented(name):
+    """Every ``repro.core.storage.__all__`` name must appear in the docs."""
+    import repro.core.storage
+
+    assert hasattr(repro.core.storage, name), (
+        f"repro.core.storage.__all__ lists missing name {name!r}"
+    )
+    api = (DOCS / "api.md").read_text()
+    assert name in api, (
+        f"repro.core.storage.{name} is exported but never mentioned in "
+        f"docs/api.md — document it (or stop exporting it)"
+    )
+
+
+def test_kernels_and_storage_architecture_sections_exist():
+    """The hub page must keep the kernels + storage design sections."""
+    arch = (DOCS / "architecture.md").read_text()
+    assert "## Compiled kernels" in arch
+    assert "## Storage format" in arch
+    assert "REPRO_NO_JIT" in arch
+    mapping = (DOCS / "paper_mapping.md").read_text()
+    assert "compiled kernels" in mapping

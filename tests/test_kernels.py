@@ -1,0 +1,262 @@
+"""The ``repro.kernels`` dispatch layer: backend selection, parity, soundness.
+
+The contract (docs/architecture.md): classify kernels are bit-identical
+across backends; probability kernels return [lower, upper] bounds that
+always contain the value SciPy computes, at most marginally wider on the
+compiled backend (never tighter than sound).  ``REPRO_NO_JIT=1`` must pin
+the NumPy fallback for a whole process regardless of compiler
+availability.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro import kernels
+from repro.gaussian.quadform import chi2_sandwich_bounds_block
+from repro.kernels import fallback
+
+RNG = np.random.default_rng(20260808)
+
+
+def random_spectrum(d: int, seed: int):
+    rng = np.random.default_rng(seed)
+    mean = rng.uniform(-50.0, 50.0, d)
+    a = rng.standard_normal((d, d))
+    eigvals, basis = np.linalg.eigh(a @ a.T + d * np.eye(d))
+    return mean, basis, eigvals
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+
+def test_backend_is_reported_consistently():
+    assert kernels.backend() == kernels.BACKEND in ("c", "numpy")
+    table = kernels.kernel_table()
+    assert [row["kernel"] for row in table] == [
+        "squared_distance_noncentralities",
+        "chi2_sandwich_block",
+        "chi2_sandwich_block_f32",
+        "ruben_block",
+        "minkowski_contains",
+        "oblique_contains",
+        "bf_classify",
+    ]
+    for row in table:
+        assert row["backend"].startswith(kernels.BACKEND)
+
+
+def test_no_jit_env_pins_numpy_backend():
+    """A fresh interpreter under REPRO_NO_JIT=1 must select the fallback."""
+    env = dict(os.environ, REPRO_NO_JIT="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", "from repro import kernels; print(kernels.BACKEND)"],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    assert out.stdout.strip() == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Quadratic-form kernels: parity / soundness against SciPy
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 6])
+def test_squared_distance_noncentralities_matches_fallback(d):
+    mean, basis, eigvals = random_spectrum(d, d)
+    points = mean + 30.0 * RNG.standard_normal((64, d))
+    got = kernels.squared_distance_noncentralities(mean, basis, eigvals, points)
+    ref = fallback.squared_distance_noncentralities(mean, basis, eigvals, points)
+    np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+
+def test_chi2_sandwich_block_sound_and_tight_vs_scipy():
+    rng = np.random.default_rng(5)
+    for _ in range(40):
+        df = float(rng.integers(1, 10))
+        x = float(rng.uniform(0.01, 3000.0))
+        ncs = rng.uniform(0.0, 5000.0, 48)
+        lam_min, lam_max = sorted(rng.uniform(0.1, 6.0, 2))
+        out = kernels.chi2_sandwich_block(x, df, ncs, lam_min, lam_max)
+        ref_lo = stats.ncx2.cdf(x / lam_max, df, ncs)
+        ref_hi = stats.ncx2.cdf(x / lam_min, df, ncs)
+        # Sound: never tighter than the SciPy truth...
+        assert np.all(out[:, 0] <= ref_lo + 1e-15)
+        assert np.all(out[:, 1] >= ref_hi - 1e-15)
+        # ...and tight: widened by at most the documented allowance.
+        assert np.all(ref_lo - out[:, 0] <= 1e-10)
+        assert np.all(out[:, 1] - ref_hi <= 1e-10)
+
+
+def test_chi2_sandwich_block_f32_sound_and_close():
+    """The float32 fast path must stay conservative, not just close."""
+    for d in (2, 3, 8):
+        mean, basis, eigvals = random_spectrum(d, 17 + d)
+        points = mean + 25.0 * RNG.standard_normal((256, d))
+        delta = 18.0
+        x, df = delta * delta, float(d)
+        lam_min, lam_max = float(eigvals.min()), float(eigvals.max())
+        ncs = fallback.squared_distance_noncentralities(
+            mean, basis, eigvals, points
+        )
+        ref_lo = stats.ncx2.cdf(x / lam_max, df, ncs.sum(axis=1))
+        ref_hi = stats.ncx2.cdf(x / lam_min, df, ncs.sum(axis=1))
+        out = kernels.chi2_sandwich_block_f32(
+            mean, basis, eigvals, points, x, df, lam_min, lam_max
+        )
+        assert np.all(out[:, 0] <= ref_lo + 1e-15)
+        assert np.all(out[:, 1] >= ref_hi - 1e-15)
+        # float32 rotation costs at most ~1e-4 of width here, not O(1).
+        assert np.max(ref_lo - out[:, 0]) < 1e-3
+        assert np.max(out[:, 1] - ref_hi) < 1e-3
+
+
+def test_chi2_sandwich_block_f32_dispatch_via_quadform():
+    """quadform's dtype knob routes to the f32 kernel and stays sound."""
+    from repro.gaussian.distribution import Gaussian
+
+    rng = np.random.default_rng(11)
+    a = rng.standard_normal((2, 2))
+    gaussian = Gaussian(rng.uniform(-5, 5, 2), a @ a.T + 2 * np.eye(2))
+    points = np.asarray(gaussian.mean) + 12.0 * rng.standard_normal((128, 2))
+    exact = chi2_sandwich_bounds_block(gaussian, points, 9.0)
+    fast = chi2_sandwich_bounds_block(gaussian, points, 9.0, dtype="float32")
+    assert np.all(fast[:, 0] <= exact[:, 0] + 1e-12)
+    assert np.all(fast[:, 1] >= exact[:, 1] - 1e-12)
+    assert np.max(np.abs(fast - exact)) < 1e-3
+
+
+def test_ruben_block_interval_contains_fallback_interval():
+    """Compiled Ruben bounds may be wider than the fallback's, never offset."""
+    for d, seed in ((2, 1), (3, 2), (5, 3)):
+        rng = np.random.default_rng(seed)
+        lam = np.sort(rng.uniform(0.5, 4.0, d))
+        h = np.ones(d)
+        ncs = rng.uniform(0.0, 30.0, (32, d))
+        x = float(rng.uniform(5.0, 200.0))
+        lo_c, hi_c, ok_c = kernels.ruben_block(lam, h, ncs, x, tol=1e-12)
+        lo_f, hi_f, ok_f = fallback.ruben_block(lam, h, ncs, x, tol=1e-12)
+        np.testing.assert_array_equal(ok_c, ok_f)
+        both = ok_c & ok_f
+        assert np.all(lo_c[both] <= lo_f[both] + 1e-12)
+        assert np.all(hi_c[both] >= hi_f[both] - 1e-12)
+        assert np.max(np.abs(lo_c[both] - lo_f[both])) < 1e-9
+        # Same decisions against a threshold inside the interval:
+        theta = 0.5
+        lo_t, hi_t, _ = kernels.ruben_block(lam, h, ncs, x, theta=theta)
+        assert np.all((lo_t > theta) <= (hi_t > theta))
+
+
+def test_ruben_block_monte_carlo_containment():
+    rng = np.random.default_rng(13)
+    lam = np.array([1.0, 2.5])
+    h = np.ones(2)
+    ncs = rng.uniform(0.0, 12.0, (8, 2))
+    x = 14.0
+    lo, hi, ok = kernels.ruben_block(lam, h, ncs, x, tol=1e-10)
+    assert ok.all()
+    z = rng.standard_normal((200_000, 2))
+    for i, nc in enumerate(ncs):
+        q = (lam * (z + np.sqrt(nc)) ** 2).sum(axis=1)
+        p = float(np.mean(q <= x))
+        margin = 4.0 * np.sqrt(p * (1 - p) / z.shape[0]) + 1e-3
+        assert lo[i] - margin <= p <= hi[i] + margin
+
+
+# ----------------------------------------------------------------------
+# Classification kernels: bit parity with the fallback
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d", [1, 2, 4])
+def test_minkowski_contains_parity(d):
+    rng = np.random.default_rng(d)
+    points = rng.uniform(-10.0, 10.0, (512, d))
+    lows = rng.uniform(-6.0, -1.0, d)
+    highs = rng.uniform(1.0, 6.0, d)
+    for delta in (0.0, 1.5):
+        got = kernels.minkowski_contains(points, lows, highs, delta)
+        ref = fallback.minkowski_contains(points, lows, highs, delta)
+        np.testing.assert_array_equal(got, ref)
+
+
+@pytest.mark.parametrize("d", [2, 3])
+def test_oblique_contains_parity(d):
+    mean, basis, eigvals = random_spectrum(d, 31 + d)
+    rng = np.random.default_rng(d)
+    points = mean + rng.uniform(-8.0, 8.0, (512, d))
+    half_widths = rng.uniform(0.5, 5.0, d)
+    got = kernels.oblique_contains(points, mean, basis, half_widths)
+    ref = fallback.oblique_contains(points, mean, basis, half_widths)
+    np.testing.assert_array_equal(got, ref)
+
+
+def test_bf_classify_parity_with_and_without_lower():
+    rng = np.random.default_rng(7)
+    points = rng.uniform(-10.0, 10.0, (512, 2))
+    center = np.array([0.5, -0.5])
+    got = kernels.bf_classify(points, center, 6.0, 2.0)
+    ref = fallback.bf_classify(points, center, 6.0, 2.0)
+    np.testing.assert_array_equal(got, ref)
+    assert set(np.unique(got)) <= {-1, 0, 1}
+    got_u = kernels.bf_classify(points, center, 6.0, None)
+    ref_u = fallback.bf_classify(points, center, 6.0, None)
+    np.testing.assert_array_equal(got_u, ref_u)
+    assert set(np.unique(got_u)) <= {-1, 0}
+
+
+def test_empty_blocks_are_well_formed():
+    empty = np.empty((0, 2))
+    assert kernels.squared_distance_noncentralities(
+        np.zeros(2), np.eye(2), np.ones(2), empty
+    ).shape == (0, 2)
+    assert kernels.chi2_sandwich_block(1.0, 2.0, np.empty(0), 1.0, 2.0).shape == (0, 2)
+    lo, hi, ok = kernels.ruben_block(np.ones(2), np.ones(2), empty, 1.0)
+    assert lo.shape == hi.shape == ok.shape == (0,)
+    assert kernels.minkowski_contains(empty, np.zeros(2), np.ones(2), 0.0).shape == (0,)
+    assert kernels.bf_classify(empty, np.zeros(2), 1.0, None).shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# Fallback scratch arena
+# ----------------------------------------------------------------------
+
+
+def test_scratch_arena_reuses_and_grows():
+    a = fallback.scratch("test_arena", (4, 4))
+    a[:] = 7.0
+    b = fallback.scratch("test_arena", (4, 4))
+    assert b.base is a.base or b.base is not None  # same arena buffer
+    grown = fallback.scratch("test_arena", (8, 4))
+    assert grown.shape == (8, 4)
+    np.testing.assert_array_equal(grown[:4], 7.0)  # leading region preserved
+
+
+def test_fallback_results_are_never_arena_views():
+    mean, basis, eigvals = random_spectrum(2, 99)
+    points = mean + RNG.standard_normal((16, 2))
+    first = fallback.squared_distance_noncentralities(
+        mean, basis, eigvals, points
+    ).copy()
+    fallback.squared_distance_noncentralities(
+        mean, basis, eigvals, points + 1000.0
+    )
+    again = fallback.squared_distance_noncentralities(
+        mean, basis, eigvals, points
+    )
+    np.testing.assert_array_equal(first, again)
