@@ -24,9 +24,15 @@ paper-versus-measured record of every table and figure.
 """
 
 from repro.core import (
+    QUERY_KINDS,
     BatchResult,
     BatchStats,
+    KNNQuery,
     MixtureQueryEngine,
+    MixtureRangeQuery,
+    TargetCovarianceTable,
+    UncertainTargetQuery,
+    query_kind,
     PlannerCostModel,
     QueryPlan,
     QueryPlanner,
@@ -79,6 +85,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ProbabilisticRangeQuery",
+    "QUERY_KINDS",
+    "query_kind",
+    "UncertainTargetQuery",
+    "MixtureRangeQuery",
+    "KNNQuery",
+    "TargetCovarianceTable",
     "QueryEngine",
     "QueryResult",
     "QueryStats",

@@ -7,9 +7,13 @@ Commands
     Generate a small dataset, run one probabilistic range query with every
     strategy combination, and print the comparison.
 ``query``
-    Run one PRQ against a saved database (a ``.soa`` store or legacy
-    ``.npz`` from :meth:`SpatialDatabase.save`) or a freshly generated
-    dataset.
+    Run one query against a saved database (a ``.soa`` store or legacy
+    ``.npz`` from :meth:`SpatialDatabase.save`).  ``--kind`` selects the
+    query kind — exact-target PRQ (default), uncertain-target PRQ
+    (``--target-sigma-scale``), Gaussian-mixture query object (repeated
+    ``--component`` plus ``--weights``), or probabilistic k-NN (``--k``,
+    ``--knn-samples``); every kind runs through the same unified stage
+    pipeline (``docs/query_types.md``).
 ``explain``
     Print the query plan — strategy regions, BF radii, predicted phase-3
     candidates and (with ``--strategies auto``) the cost-based planner's
@@ -55,6 +59,31 @@ from repro import __version__
 __all__ = ["main", "build_parser"]
 
 
+def _add_kind_arguments(command) -> None:
+    """The query-kind options shared by ``query`` and ``explain``."""
+    command.add_argument("--kind", default="prq",
+                         choices=["prq", "uncertain", "mixture", "knn"],
+                         help="query kind: exact-target PRQ (default), "
+                         "uncertain-target PRQ, Gaussian-mixture query "
+                         "object, or probabilistic k-NN — all run through "
+                         "the unified stage pipeline (docs/query_types.md)")
+    command.add_argument("--target-sigma-scale", type=float, default=None,
+                         metavar="SCALE",
+                         help="give every database object a Gaussian "
+                         "location N(point, SCALE*I); implied (1.0) by "
+                         "--kind uncertain")
+    command.add_argument("--component", type=float, nargs="+",
+                         action="append", default=None, metavar="COORD",
+                         help="one mixture component mean per flag "
+                         "(--kind mixture); components share --sigma-scale")
+    command.add_argument("--weights", type=float, nargs="+", default=None,
+                         help="mixture component weights (default: uniform)")
+    command.add_argument("--k", type=int, default=1,
+                         help="neighbour count for --kind knn")
+    command.add_argument("--knn-samples", type=int, default=2_000,
+                         help="Monte Carlo sample budget for --kind knn")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -78,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="isotropic covariance scale (variance)")
     query.add_argument("--delta", type=float, default=None)
     query.add_argument("--theta", type=float, default=None)
+    _add_kind_arguments(query)
     query.add_argument("--strategies", default="all",
                        help="strategy spec (rr, bf, rr+bf, rr+or, bf+or, "
                        "all, em, em+bf) or 'auto' for cost-based planning")
@@ -93,8 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--batch", default=None, metavar="FILE",
                        help="JSON file with a list of query specs "
                        '[{"center": [...], "delta": d, "theta": t, '
-                       '"sigma_scale": s?}, ...]; runs them all through '
-                       "QueryEngine.run_batch")
+                       '"sigma_scale": s?, "kind": k?}, ...]; runs them '
+                       "all through QueryEngine.run_batch (kinds may be "
+                       "mixed within one batch; --kind sets the default)")
     query.add_argument("--workers", type=int, default=1,
                        help="worker threads for --batch execution "
                        "(results are identical for any worker count)")
@@ -116,11 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="show the query plan without integrating"
     )
     explain.add_argument("database", help="database file from SpatialDatabase.save (.soa store or legacy .npz)")
-    explain.add_argument("--center", type=float, nargs="+", required=True)
+    explain.add_argument("--center", type=float, nargs="+", default=None)
     explain.add_argument("--sigma-scale", type=float, default=1.0,
                          help="isotropic covariance scale (variance)")
-    explain.add_argument("--delta", type=float, required=True)
+    explain.add_argument("--delta", type=float, default=None)
     explain.add_argument("--theta", type=float, required=True)
+    _add_kind_arguments(explain)
     explain.add_argument("--strategies", default="auto",
                          help="strategy spec or 'auto' for the cost-based "
                          "planner (default: auto)")
@@ -186,7 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON-lines request file ('-' = stdin, default); "
                        'each line: {"center": [...], "delta": d, "theta": t, '
                        '"sigma_scale": s?, "deadline_ms": ms?, "priority": p?, '
-                       '"id": any?}')
+                       '"id": any?, "kind": "prq"|"uncertain"|"mixture"|"knn"?'
+                       "} (kinded specs take the fields described in "
+                       "docs/query_types.md)")
     serve.add_argument("--max-batch", type=int, default=32,
                        help="largest coalesced micro-batch per drain")
     serve.add_argument("--window-ms", type=float, default=2.0,
@@ -199,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads per coalesced run_batch call")
     serve.add_argument("--strategies", default="all",
                        help="strategy spec or 'auto' for cost-based planning")
+    serve.add_argument("--target-sigma-scale", type=float, default=None,
+                       metavar="SCALE",
+                       help="give every database object a Gaussian location "
+                       "N(point, SCALE*I) so requests with "
+                       '"kind": "uncertain" can be served')
     serve.add_argument("--integrator", default="cascade",
                        choices=["importance", "exact", "cascade"],
                        help="Phase-3 evaluator (default: the deterministic "
@@ -330,8 +369,127 @@ def _load_database(path):
         raise SystemExit(2) from exc
 
 
+def _with_target_table(db, scale):
+    """Rebuild a loaded database with a shared isotropic target covariance.
+
+    Saved stores carry only exact points, so the CLI models uncertain
+    targets by giving every object the location law N(point, scale * I).
+    """
+    from repro import SpatialDatabase, TargetCovarianceTable
+
+    value = 1.0 if scale is None else float(scale)
+    ids = np.asarray(db.ids)
+    table = TargetCovarianceTable.shared(value * np.eye(db.dim), ids)
+    return SpatialDatabase(np.asarray(db.points), ids=ids, target_table=table)
+
+
+def _build_cli_query(dim, args):
+    """The kinded query object for one CLI invocation.
+
+    Returns ``(query, None)`` or ``(None, error_message)`` so the caller
+    can print the one-line diagnostic and exit 2.
+    """
+    from repro import Gaussian
+    from repro.core.query import ProbabilisticRangeQuery
+    from repro.errors import ReproError
+
+    if args.theta is None:
+        return None, "--theta is required (or pass --batch FILE)"
+    if args.kind == "mixture":
+        if not args.component:
+            return None, "--kind mixture needs at least one --component"
+        bad = [c for c in args.component if len(c) != dim]
+        if bad:
+            return None, (f"database is {dim}-dimensional; every "
+                          f"--component needs {dim} coordinates")
+        if args.delta is None:
+            return None, "--delta is required"
+        from repro import GaussianMixture, MixtureRangeQuery
+
+        try:
+            mixture = GaussianMixture(
+                [Gaussian(np.asarray(c, dtype=float),
+                          args.sigma_scale * np.eye(dim))
+                 for c in args.component],
+                args.weights,
+            )
+        except ReproError as exc:
+            return None, str(exc)
+        return MixtureRangeQuery.create(mixture, args.delta, args.theta), None
+    if args.center is None:
+        return None, "--center is required (or pass --batch FILE)"
+    center = np.asarray(args.center, dtype=float)
+    if center.size != dim:
+        return None, (f"database is {dim}-dimensional, got "
+                      f"{center.size} center coordinates")
+    gaussian = Gaussian(center, args.sigma_scale * np.eye(dim))
+    if args.kind == "knn":
+        from repro import KNNQuery
+
+        return KNNQuery.create(
+            gaussian, k=args.k, theta=args.theta,
+            n_samples=args.knn_samples, seed=args.seed,
+        ), None
+    if args.delta is None:
+        return None, "--delta is required (or pass --batch FILE)"
+    if args.kind == "uncertain":
+        from repro import UncertainTargetQuery
+
+        return UncertainTargetQuery(gaussian, args.delta, args.theta), None
+    return ProbabilisticRangeQuery(gaussian, args.delta, args.theta), None
+
+
+def _query_from_spec(spec, dim, *, sigma_scale=1.0, seed=0,
+                     default_kind="prq"):
+    """One kinded query from a JSON spec (batch line or serve request).
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` or a ``ReproError``
+    subclass on a malformed spec; callers map those onto per-line errors.
+    """
+    from repro import (
+        Gaussian,
+        GaussianMixture,
+        KNNQuery,
+        MixtureRangeQuery,
+        UncertainTargetQuery,
+    )
+    from repro.core.query import ProbabilisticRangeQuery
+
+    kind = spec.get("kind", default_kind)
+    scale = float(spec.get("sigma_scale", sigma_scale))
+    theta = float(spec["theta"])
+    if kind == "mixture":
+        components = [
+            Gaussian(np.asarray(c, dtype=float), scale * np.eye(dim))
+            for c in spec["components"]
+        ]
+        mixture = GaussianMixture(components, spec.get("weights"))
+        return MixtureRangeQuery.create(mixture, float(spec["delta"]), theta)
+    center = np.asarray(spec["center"], dtype=float)
+    if "sigma" in spec:
+        sigma = np.asarray(spec["sigma"], dtype=float)
+    else:
+        sigma = scale * np.eye(dim)
+    gaussian = Gaussian(center, sigma)
+    if kind == "knn":
+        return KNNQuery.create(
+            gaussian,
+            k=int(spec.get("k", 1)),
+            theta=theta,
+            n_samples=int(spec.get("n_samples", 2_000)),
+            seed=int(spec.get("seed", seed)),
+        )
+    if kind == "uncertain":
+        return UncertainTargetQuery(gaussian, float(spec["delta"]), theta)
+    if kind != "prq":
+        raise ValueError(f"unknown query kind {kind!r}")
+    return ProbabilisticRangeQuery(gaussian, float(spec["delta"]), theta)
+
+
 def _cmd_query(args) -> int:
     db = _load_database(args.database)
+    if args.kind == "uncertain" or args.target_sigma_scale is not None:
+        db = _with_target_table(db, args.target_sigma_scale)
     if args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}",
               file=sys.stderr)
@@ -347,28 +505,20 @@ def _cmd_query(args) -> int:
 
 
 def _dispatch_query(db, args) -> int:
-    from repro import Gaussian
-
     if args.batch is not None:
         return _run_query_batch(db, args)
-    if args.center is None or args.delta is None or args.theta is None:
-        print("error: --center, --delta and --theta are required "
-              "(or pass --batch FILE)", file=sys.stderr)
+    query, problem = _build_cli_query(db.dim, args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
         return 2
-    center = np.asarray(args.center, dtype=float)
-    if center.size != db.dim:
-        print(f"error: database is {db.dim}-dimensional, got "
-              f"{center.size} center coordinates", file=sys.stderr)
-        return 2
-    gaussian = Gaussian(center, args.sigma_scale * np.eye(db.dim))
     integrator = _make_integrator(
         _integrator_choice(args), args.theta, args.seed
     )
     obs = _make_obs(args)
-    result = db.probabilistic_range_query(
-        gaussian, args.delta, args.theta,
-        strategies=args.strategies, integrator=integrator, obs=obs,
+    engine = db.engine(
+        strategies=args.strategies, integrator=integrator, obs=obs
     )
+    result = engine.execute(query)
     print(f"{len(result)} objects qualify")
     print("ids:", " ".join(str(i) for i in result.ids))
     print("stats:", result.stats.summary())
@@ -386,8 +536,7 @@ def _run_query_batch(db, args) -> int:
     import json
     from pathlib import Path
 
-    from repro import Gaussian
-    from repro.core.query import ProbabilisticRangeQuery
+    from repro.errors import ReproError
 
     try:
         specs = json.loads(Path(args.batch).read_text())
@@ -406,13 +555,11 @@ def _run_query_batch(db, args) -> int:
     queries = []
     for i, spec in enumerate(specs):
         try:
-            center = np.asarray(spec["center"], dtype=float)
-            scale = float(spec.get("sigma_scale", args.sigma_scale))
-            queries.append(ProbabilisticRangeQuery(
-                Gaussian(center, scale * np.eye(db.dim)),
-                float(spec["delta"]), float(spec["theta"]),
+            queries.append(_query_from_spec(
+                spec, db.dim, sigma_scale=args.sigma_scale,
+                seed=args.seed, default_kind=args.kind,
             ))
-        except (KeyError, TypeError, ValueError) as exc:
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
             print(f"error: bad query spec #{i}: {exc}", file=sys.stderr)
             return 2
     choice = _integrator_choice(args)
@@ -449,19 +596,13 @@ def _run_query_batch(db, args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    from repro import Gaussian
-    from repro.core.query import ProbabilisticRangeQuery
-
     db = _load_database(args.database)
-    center = np.asarray(args.center, dtype=float)
-    if center.size != db.dim:
-        print(f"error: database is {db.dim}-dimensional, got "
-              f"{center.size} center coordinates", file=sys.stderr)
+    if args.kind == "uncertain" or args.target_sigma_scale is not None:
+        db = _with_target_table(db, args.target_sigma_scale)
+    query, problem = _build_cli_query(db.dim, args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
         return 2
-    query = ProbabilisticRangeQuery(
-        Gaussian(center, args.sigma_scale * np.eye(db.dim)),
-        args.delta, args.theta,
-    )
     integrator = _make_integrator(args.integrator, args.theta, args.seed)
     engine = db.engine(strategies=args.strategies, integrator=integrator)
     estimator = None
@@ -604,24 +745,23 @@ def _cmd_figures(args) -> int:
     return 0
 
 
-def _parse_serve_request(spec: dict, dim: int, line_no: int):
+def _parse_serve_request(spec: dict, dim: int, line_no: int, seed: int = 0):
     """Build one PRQRequest from a JSON-lines spec (raises ValueError)."""
-    from repro import Gaussian
     from repro.serve import PRQRequest
 
-    center = np.asarray(spec["center"], dtype=float)
-    if "sigma" in spec:
-        sigma = np.asarray(spec["sigma"], dtype=float)
-    else:
-        sigma = float(spec.get("sigma_scale", 1.0)) * np.eye(dim)
+    query = _query_from_spec(spec, dim, seed=seed)
     deadline = spec.get("deadline_ms")
+    deadline = None if deadline is None else float(deadline) / 1e3
+    priority = int(spec.get("priority", 0))
+    request_id = spec.get("id", line_no)
+    if getattr(query, "kind", "prq") != "prq":
+        return PRQRequest.from_query(
+            query, deadline=deadline, priority=priority,
+            request_id=request_id,
+        )
     return PRQRequest(
-        Gaussian(center, sigma),
-        float(spec["delta"]),
-        float(spec["theta"]),
-        deadline=None if deadline is None else float(deadline) / 1e3,
-        priority=int(spec.get("priority", 0)),
-        request_id=spec.get("id", line_no),
+        query.gaussian, query.delta, query.theta,
+        deadline=deadline, priority=priority, request_id=request_id,
     )
 
 
@@ -633,6 +773,8 @@ def _cmd_serve(args) -> int:
     from repro.serve import STATUS_FAILED
 
     db = _load_database(args.database)
+    if args.target_sigma_scale is not None:
+        db = _with_target_table(db, args.target_sigma_scale)
     if args.requests == "-":
         lines = sys.stdin.read().splitlines()
     else:
@@ -666,7 +808,7 @@ def _cmd_serve(args) -> int:
                 continue
             try:
                 request = _parse_serve_request(
-                    json.loads(line), db.dim, line_no
+                    json.loads(line), db.dim, line_no, args.seed
                 )
             except (KeyError, TypeError, ValueError, ReproError) as exc:
                 handles.append({"id": line_no, "status": STATUS_FAILED,

@@ -8,9 +8,14 @@
   that combines any subset of strategies;
 - :class:`SpatialDatabase` — the user-facing façade tying data, index,
   catalogs, strategies and integrator together;
-- extensions from the paper's future-work list: probabilistic k-NN
-  (:mod:`~repro.core.nn`), uncertain targets (:mod:`~repro.core.uncertain`)
-  and the closed-form 1-D case (:mod:`~repro.core.oned`).
+- :mod:`~repro.core.kinds` — the query-kind abstraction folding the
+  paper's future-work extensions (uncertain targets, Gaussian-mixture
+  query objects, probabilistic k-NN) into the same three-phase stage
+  pipeline as exact-target PRQs (see ``docs/query_types.md``);
+- legacy per-extension entry points kept for compatibility: sampling
+  k-NN (:mod:`~repro.core.nn`), the deprecated
+  :class:`~repro.core.uncertain.UncertainDatabase` shim, and the
+  closed-form 1-D case (:mod:`~repro.core.oned`).
 """
 
 from repro.core.query import ProbabilisticRangeQuery
@@ -27,6 +32,14 @@ from repro.core.strategies import (
     make_strategies,
 )
 from repro.core.engine import BatchResult, QueryEngine, QueryPlan, QueryResult
+from repro.core.kinds import (
+    QUERY_KINDS,
+    KNNQuery,
+    MixtureRangeQuery,
+    TargetCovarianceTable,
+    UncertainTargetQuery,
+    query_kind,
+)
 from repro.core.planner import (
     PlanChoice,
     PlanDecision,
@@ -58,6 +71,12 @@ __all__ = [
     "REJECT",
     "UNKNOWN",
     "QueryEngine",
+    "QUERY_KINDS",
+    "query_kind",
+    "UncertainTargetQuery",
+    "MixtureRangeQuery",
+    "KNNQuery",
+    "TargetCovarianceTable",
     "QueryPlan",
     "QueryPlanner",
     "PlannerCostModel",

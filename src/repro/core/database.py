@@ -48,6 +48,11 @@ class SpatialDatabase:
         Optional object ids (default 0..n−1); must be unique.
     index:
         A pre-built empty index to load into; defaults to an R*-tree.
+    target_table:
+        Optional :class:`repro.core.kinds.TargetCovarianceTable` mapping
+        object ids to target covariances.  Required for executing
+        :class:`repro.core.kinds.UncertainTargetQuery` — every engine
+        built from this database carries it.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class SpatialDatabase:
         index: SpatialIndex | None = None,
         *,
         defer_index: bool = False,
+        target_table=None,
         _backing=None,
     ):
         pts = np.asarray(points, dtype=float)
@@ -84,8 +90,14 @@ class SpatialDatabase:
                     f"index dimension {index.dim} does not match points "
                     f"dimension {pts.shape[1]}"
                 )
+        if target_table is not None and target_table.dim != pts.shape[1]:
+            raise QueryError(
+                f"target covariance dimension {target_table.dim} does not "
+                f"match points dimension {pts.shape[1]}"
+            )
         self._points = pts
         self._ids = id_arr
+        self._target_table = target_table
         self._backing = _backing  # keeps a memory-mapped store file alive
         self._pending_index = index
         self._built_index: SpatialIndex | None = None
@@ -117,6 +129,11 @@ class SpatialDatabase:
     def points(self) -> np.ndarray:
         """(n, d) object locations (possibly memory-mapped).  Do not mutate."""
         return self._points
+
+    @property
+    def targets(self):
+        """The registered target covariance table, or ``None``."""
+        return self._target_table
 
     @property
     def dim(self) -> int:
@@ -213,6 +230,7 @@ class SpatialDatabase:
             phase1=phase1,
             planner=planner,
             obs=obs,
+            targets=self._target_table,
         )
 
     def planner(self, **kwargs) -> QueryPlanner:
@@ -238,6 +256,7 @@ class SpatialDatabase:
             kwargs["estimator"] = SelectivityEstimator(points)
         kwargs.setdefault("total_points", points.shape[0])
         kwargs.setdefault("data_bounds", bounds)
+        kwargs.setdefault("targets", self._target_table)
         return QueryPlanner(**kwargs)
 
     def top_k_by_probability(

@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.kinds import adapt_pipeline
 from repro.core.query import ProbabilisticRangeQuery
 from repro.core.stages import (
     FilterStage,
@@ -54,7 +55,7 @@ from repro.core.stages import (
     execute_pipeline,
 )
 from repro.core.stats import BatchStats, QueryStats
-from repro.core.strategies import Strategy
+from repro.core.strategies import STRATEGY_COMBINATIONS, Strategy
 from repro.errors import QueryError, ReproError
 from repro.geometry.mbr import Rect
 from repro.index.base import SpatialIndex
@@ -241,6 +242,11 @@ class QueryEngine:
         tier) and feeds the metrics registry per the telemetry contract
         in ``docs/observability.md``.  Observability is RNG-free, so
         results are bit-identical with it on or off.
+    targets:
+        Optional :class:`repro.core.kinds.TargetCovarianceTable` holding
+        per-object target covariances.  Required to execute
+        :class:`repro.core.kinds.UncertainTargetQuery` — the kind
+        adapters look up each candidate's covariance group here.
     """
 
     def __init__(
@@ -252,6 +258,7 @@ class QueryEngine:
         phase1: str = "intersect",
         planner: "QueryPlanner | None" = None,
         obs: Observability | None = None,
+        targets=None,
     ):
         if not strategies:
             raise QueryError("at least one strategy is required")
@@ -269,6 +276,7 @@ class QueryEngine:
         self.phase1 = phase1
         self.planner = planner
         self.obs = obs
+        self.targets = targets
 
     def execute(self, query: ProbabilisticRangeQuery) -> QueryResult:
         result = self._execute_with(query, self.strategies, self.integrator)
@@ -482,7 +490,7 @@ class QueryEngine:
                         plan_span.__enter__()
                     try:
                         strategies, integrator, phase1 = self._apply_plan(
-                            query, integrator, stats, seed
+                            query, strategies, integrator, stats, seed
                         )
                     finally:
                         if plan_span is not None:
@@ -494,6 +502,14 @@ class QueryEngine:
                                 cache_hit=bool(stats.plan_cache_hit),
                             )
                             plan_span.__exit__(None, None, None)
+            strategies, integrator = adapt_pipeline(
+                query,
+                strategies,
+                integrator,
+                index=self.index,
+                targets=self.targets,
+                seed=seed,
+            )
             ctx = StageContext(query, strategies, integrator, stats, obs=obs)
             stages = [
                 SearchStage(self.index, phase1=phase1),
@@ -516,14 +532,21 @@ class QueryEngine:
     def _apply_plan(
         self,
         query: ProbabilisticRangeQuery,
+        strategies: list[Strategy],
         integrator: ProbabilityIntegrator,
         stats: QueryStats,
         seed: np.random.SeedSequence | None,
     ) -> tuple[list[Strategy], ProbabilityIntegrator, str]:
-        """Plan ``query`` and materialize the chosen stages."""
+        """Plan ``query`` and materialize the chosen stages.
+
+        Kind-specific plans carry the kind name (not a strategy combo) as
+        their spec; the base strategies pass through untouched and
+        :func:`adapt_pipeline` swaps in the kind adapters afterwards.
+        """
         decision = self.planner.plan(query, integrator)
         chosen = decision.chosen
-        strategies = self.planner.build_strategies(chosen.strategies)
+        if chosen.strategies in STRATEGY_COMBINATIONS:
+            strategies = self.planner.build_strategies(chosen.strategies)
         if chosen.integrator != integrator.name:
             picked = self.planner.integrator_for(chosen.integrator)
             if picked is not None:
@@ -558,12 +581,20 @@ class QueryEngine:
         if self.planner is not None:
             decision = self.planner.plan(query, self.integrator)
             chosen = decision.chosen
-            strategies = self.planner.build_strategies(chosen.strategies)
+            if chosen.strategies in STRATEGY_COMBINATIONS:
+                strategies = self.planner.build_strategies(chosen.strategies)
             phase1 = chosen.phase1
             predicted = chosen.predicted_candidates
             predicted_seconds = chosen.predicted_seconds
             comparison = decision.considered
             planned = True
+        strategies, _ = adapt_pipeline(
+            query,
+            strategies,
+            self.integrator,
+            index=self.index,
+            targets=self.targets,
+        )
         stage = SearchStage(self.index, phase1=phase1)
         rect = stage.prepare(query, strategies, stats)
         descriptions: list[str] = []
@@ -595,6 +626,25 @@ class QueryEngine:
                         if alpha_lower is not None
                         else "— (no hole)"
                     )
+                )
+            elif strategy.name == "UT":
+                alpha = strategy.alpha  # type: ignore[attr-defined]
+                descriptions.append(
+                    "UT: convolved conservative reach "
+                    + (
+                        f"{alpha:.3f}" if alpha is not None else "— (empty)"
+                    )
+                    + f" over {strategy.n_groups} target covariance group(s)"  # type: ignore[attr-defined]
+                )
+            elif strategy.name == "MIX":
+                descriptions.append(
+                    f"MIX: {strategy.n_live} of {strategy.n_components} "  # type: ignore[attr-defined]
+                    "component regions live, unioned for Phase 1"
+                )
+            elif strategy.name == "KNN":
+                descriptions.append(
+                    f"KNN: sample-driven candidate cut radius "
+                    f"{strategy.cut_radius:.3f}"  # type: ignore[attr-defined]
                 )
         if predicted is None and estimator is not None and rect is not None:
             predicted = estimator.estimate_candidates(query, list(strategies))

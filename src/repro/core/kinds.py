@@ -1,0 +1,845 @@
+"""Query kinds: every query type behind the one stage pipeline.
+
+The paper's engine processes PRQ(q, δ, θ) with exact target locations.
+This module folds the repository's other query types — uncertain targets
+(:class:`UncertainTargetQuery`), Gaussian-mixture query objects
+(:class:`MixtureRangeQuery`) and probabilistic k-NN (:class:`KNNQuery`) —
+into the same Search → Filter → Integrate pipeline.  Each kind is a
+frozen subclass of :class:`ProbabilisticRangeQuery` plus a pair of
+adapters built by :func:`adapt_pipeline`:
+
+- a kind-specific :class:`~repro.core.strategies.Strategy` contributing
+  the Phase-1 search rectangle and the Phase-2 pruning bounds
+  (convolved-covariance padding for uncertain targets, per-component
+  union for mixtures, the sample-driven candidate cut for k-NN);
+- a kind-specific :class:`~repro.integrate.base.ProbabilityIntegrator`
+  wrapper supplying the Phase-3 integrand (per-target convolved
+  qualification, the weighted mixture sum, per-sample win counting).
+
+``SearchStage``/``FilterStage``/``IntegrateStage`` stay kind-agnostic:
+they talk to the adapters through the ``classify_candidates`` /
+``decide_candidates`` protocol extensions, which add candidate *ids* to
+the classify/decide calls so per-target state (which covariance group an
+object belongs to) never leaks into the stage bodies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.catalog.bf import alpha_radii
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.strategies import REJECT, UNKNOWN, ACCEPT, Strategy
+from repro.errors import CatalogError, QueryError
+from repro.gaussian.convolve import conservative_reach_alpha
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.mixture import GaussianMixture
+from repro.geometry.mbr import Rect
+from repro.integrate.base import ProbabilityIntegrator
+from repro.integrate.result import IntegrationResult
+
+__all__ = [
+    "QUERY_KINDS",
+    "query_kind",
+    "adapt_pipeline",
+    "UncertainTargetQuery",
+    "MixtureRangeQuery",
+    "KNNQuery",
+    "TargetCovarianceTable",
+    "ConvolvedTargetStrategy",
+    "UncertainTargetDecider",
+    "MixtureFilterStrategy",
+    "MixtureDecider",
+    "KNNCutStrategy",
+    "KNNDecider",
+]
+
+#: Every kind the unified pipeline executes.
+QUERY_KINDS: tuple[str, ...] = ("prq", "uncertain", "mixture", "knn")
+
+
+def query_kind(query: ProbabilisticRangeQuery) -> str:
+    """The kind tag of a query object (``"prq"`` for the base class)."""
+    return getattr(query, "kind", "prq")
+
+
+# ----------------------------------------------------------------------
+# Kinded query specifications
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class UncertainTargetQuery(ProbabilisticRangeQuery):
+    """PRQ whose *targets* are themselves Gaussian (paper future work).
+
+    Identical specification to the base PRQ — the target covariances live
+    in the database's :class:`TargetCovarianceTable`, not in the query —
+    but the kind tag routes execution through the convolved-covariance
+    adapters: Σ_q + Σ_o padding in Phase 1, per-target convolved BF
+    bounds in Phase 2, and the convolved integrand in Phase 3.
+    """
+
+    kind = "uncertain"
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainTargetQuery(center="
+            f"{np.round(self.center, 4).tolist()}, "
+            f"delta={self.delta:g}, theta={self.theta:g})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class MixtureRangeQuery(ProbabilisticRangeQuery):
+    """PRQ whose query object is a :class:`GaussianMixture`.
+
+    ``gaussian`` holds the moment-matched *envelope* N(μ_mix, Σ_mix) used
+    only for planner canonicalization and dimension checks; the actual
+    search/filter/integrate work runs against the components.  Build via
+    :meth:`create` to get the envelope right.
+    """
+
+    kind = "mixture"
+
+    mixture: GaussianMixture | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.mixture, GaussianMixture):
+            raise QueryError(
+                "MixtureRangeQuery needs a GaussianMixture; build one via "
+                "MixtureRangeQuery.create(mixture, delta, theta)"
+            )
+        if self.mixture.dim != self.gaussian.dim:
+            raise QueryError(
+                f"mixture dimension {self.mixture.dim} does not match "
+                f"envelope dimension {self.gaussian.dim}"
+            )
+
+    @classmethod
+    def create(
+        cls, mixture: GaussianMixture, delta: float, theta: float
+    ) -> "MixtureRangeQuery":
+        """Build the query with its moment-matched envelope Gaussian."""
+        envelope = Gaussian(mixture.mean(), mixture.covariance())
+        return cls(envelope, float(delta), float(theta), mixture=mixture)
+
+    def __repr__(self) -> str:
+        return (
+            f"MixtureRangeQuery(k={len(self.mixture)}, "
+            f"delta={self.delta:g}, theta={self.theta:g})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class KNNQuery(ProbabilisticRangeQuery):
+    """Probabilistic k-NN: objects that are a k-NN of the query w.p. ≥ θ.
+
+    ``delta`` is a placeholder (the k-NN predicate has no distance
+    threshold); build via :meth:`create`.  ``seed`` pins the Monte Carlo
+    sample stream — the default 0 matches
+    :func:`repro.core.nn.probabilistic_nearest_neighbors`; pass ``None``
+    to derive the stream from the engine's per-query seed instead.
+    """
+
+    kind = "knn"
+
+    k: int = 1
+    n_samples: int = 2_000
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        if self.n_samples < 10:
+            raise QueryError(
+                f"n_samples must be >= 10, got {self.n_samples}"
+            )
+
+    @classmethod
+    def create(
+        cls,
+        gaussian: Gaussian,
+        k: int = 1,
+        theta: float = 0.5,
+        *,
+        n_samples: int = 2_000,
+        seed: int | None = 0,
+    ) -> "KNNQuery":
+        return cls(
+            gaussian, 1.0, float(theta), k=int(k), n_samples=int(n_samples),
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KNNQuery(center={np.round(self.center, 4).tolist()}, "
+            f"k={self.k}, theta={self.theta:g}, n_samples={self.n_samples})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Uncertain targets
+# ----------------------------------------------------------------------
+
+
+class TargetCovarianceTable:
+    """Per-object target covariances, deduplicated by matrix bytes.
+
+    Most uncertain databases share a handful of sensor models across many
+    objects, so the table stores each distinct Σ_o once (a *group*) and
+    maps object ids to groups.  The convolved-target adapters look up
+    per-candidate groups in O(1); the planner hashes the (sorted,
+    quantized) group spectra into its plan-cache key.
+    """
+
+    def __init__(
+        self, group_of: dict[int, int], sigmas: Sequence[np.ndarray]
+    ):
+        mats = [np.asarray(s, dtype=float) for s in sigmas]
+        if not mats:
+            raise QueryError("target table needs at least one covariance")
+        dims = {m.shape for m in mats}
+        if len(dims) != 1 or mats[0].ndim != 2:
+            raise QueryError(
+                f"target covariances must share one (d, d) shape, got "
+                f"{sorted(dims)}"
+            )
+        if mats[0].shape[0] != mats[0].shape[1]:
+            raise QueryError(
+                f"target covariances must be square, got {mats[0].shape}"
+            )
+        self._group_of = {int(i): int(g) for i, g in group_of.items()}
+        for obj_id, g in self._group_of.items():
+            if not 0 <= g < len(mats):
+                raise QueryError(
+                    f"object {obj_id} maps to unknown covariance group {g}"
+                )
+        self._sigmas = mats
+        self._eigs = [np.linalg.eigvalsh(m) for m in mats]  # ascending
+        self._max_eig = max(float(e[-1]) for e in self._eigs)
+
+    @classmethod
+    def from_objects(cls, objects: Iterable) -> "TargetCovarianceTable":
+        """Build from objects exposing ``obj_id`` and ``gaussian`` attrs
+        (e.g. :class:`repro.core.uncertain.UncertainObject`)."""
+        by_bytes: dict[bytes, int] = {}
+        group_of: dict[int, int] = {}
+        sigmas: list[np.ndarray] = []
+        for obj in objects:
+            sigma = np.asarray(obj.gaussian.sigma, dtype=float)
+            key = sigma.tobytes()
+            group = by_bytes.get(key)
+            if group is None:
+                group = len(sigmas)
+                by_bytes[key] = group
+                sigmas.append(sigma)
+            group_of[int(obj.obj_id)] = group
+        return cls(group_of, sigmas)
+
+    @classmethod
+    def shared(
+        cls, sigma: np.ndarray, ids: Iterable[int]
+    ) -> "TargetCovarianceTable":
+        """One covariance shared by every object id."""
+        return cls({int(i): 0 for i in ids}, [np.asarray(sigma, float)])
+
+    @property
+    def dim(self) -> int:
+        return self._sigmas[0].shape[0]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._sigmas)
+
+    @property
+    def max_eig(self) -> float:
+        """Largest eigenvalue over every target covariance (the
+        conservative-reach padding scale)."""
+        return self._max_eig
+
+    def __len__(self) -> int:
+        return len(self._group_of)
+
+    def sigma(self, group: int) -> np.ndarray:
+        return self._sigmas[group]
+
+    def groups_for(self, ids: Iterable[int]) -> np.ndarray:
+        """Group index per object id (vector lookup)."""
+        id_list = [int(i) for i in ids]
+        try:
+            return np.fromiter(
+                (self._group_of[i] for i in id_list),
+                dtype=np.int64,
+                count=len(id_list),
+            )
+        except KeyError as exc:
+            raise QueryError(
+                f"no target covariance registered for object id "
+                f"{exc.args[0]!r}"
+            ) from None
+
+    def spectra(self) -> tuple[tuple[float, ...], ...]:
+        """Sorted per-group eigenvalue tuples (planner cache-key input)."""
+        return tuple(
+            sorted(tuple(float(v) for v in eigs) for eigs in self._eigs)
+        )
+
+
+class ConvolvedTargetStrategy(Strategy):
+    """Uncertain-target Phase-1/2 adapter (replaces RR/OR/BF).
+
+    The exact-target filters are *unsound* when targets are Gaussian — a
+    target mean outside the exact θ-region ⊕ δ-ball can still qualify via
+    its own spread — so this strategy replaces them with the convolved
+    machinery:
+
+    - Phase 1: the conservative reach α of
+      :func:`repro.gaussian.convolve.conservative_reach_alpha` under the
+      worst-case target covariance (``None`` proves the result empty);
+    - Phase 2: per-covariance-group BF radii (α∥, α⊥) of the convolved
+      Gaussian N(q, Σ_q + Σ_o) — REJECT beyond α∥, free-ACCEPT within α⊥.
+    """
+
+    name = "UT"
+
+    def __init__(self, table: TargetCovarianceTable):
+        self._table = table
+        self._center: np.ndarray | None = None
+        self._alpha: float | None = None
+        self._radii: list[tuple[float | None, float | None]] | None = None
+
+    def prepare(self, query: ProbabilisticRangeQuery) -> None:
+        if query.dim != self._table.dim:
+            raise QueryError(
+                f"query dimension {query.dim} does not match target "
+                f"covariance dimension {self._table.dim}"
+            )
+        self._center = query.center
+        self._alpha = conservative_reach_alpha(
+            query.gaussian, query.delta, query.theta, self._table.max_eig
+        )
+        radii: list[tuple[float | None, float | None]] = []
+        if self._alpha is not None:
+            for group in range(self._table.n_groups):
+                convolved = Gaussian(
+                    query.center,
+                    query.gaussian.sigma + self._table.sigma(group),
+                )
+                try:
+                    radii.append(
+                        alpha_radii(convolved, query.delta, query.theta)
+                    )
+                except CatalogError as exc:
+                    raise QueryError(str(exc)) from exc
+        self._radii = radii
+
+    @property
+    def proves_empty(self) -> bool:
+        self._require_prepared("_radii")
+        return self._alpha is None
+
+    @property
+    def alpha(self) -> float | None:
+        """Conservative reach radius (None = result proven empty)."""
+        self._require_prepared("_radii")
+        return self._alpha
+
+    @property
+    def n_groups(self) -> int:
+        return self._table.n_groups
+
+    def search_rect(self) -> Rect | None:
+        self._require_prepared("_radii")
+        if self._alpha is None:
+            return None
+        return Rect.from_center(
+            self._center, np.full(self._center.size, self._alpha)
+        )
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        # Without ids the covariance group is unknown; only the
+        # group-independent conservative reach is a sound filter.
+        self._require_prepared("_radii")
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        codes = np.full(pts.shape[0], UNKNOWN, dtype=np.int8)
+        if self._alpha is None:
+            codes[:] = REJECT
+            return codes
+        deltas = pts - self._center
+        distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        codes[distances > self._alpha] = REJECT
+        return codes
+
+    def classify_many(self, points: np.ndarray) -> np.ndarray:
+        return self.classify(points)
+
+    def classify_candidates(
+        self, ids: np.ndarray, points: np.ndarray
+    ) -> np.ndarray:
+        self._require_prepared("_radii")
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        codes = np.full(pts.shape[0], UNKNOWN, dtype=np.int8)
+        if pts.shape[0] == 0:
+            return codes
+        if self._alpha is None:
+            codes[:] = REJECT
+            return codes
+        groups = self._table.groups_for(ids)
+        deltas = pts - self._center
+        distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        for group in np.unique(groups):
+            upper, lower = self._radii[int(group)]
+            mask = groups == group
+            if upper is None:
+                codes[mask] = REJECT
+                continue
+            codes[mask & (distances > upper)] = REJECT
+            if lower is not None:
+                codes[mask & (distances <= lower)] = ACCEPT
+        return codes
+
+
+class UncertainTargetDecider(ProbabilityIntegrator):
+    """Phase-3 adapter: integrate each candidate under N(q, Σ_q + Σ_o).
+
+    Wraps any base integrator; candidates are grouped by target
+    covariance and each group decided with the base integrator against
+    its convolved Gaussian, so per-candidate results are exactly what the
+    base integrator produces for the reduced one-sided problem.
+    """
+
+    def __init__(self, base: ProbabilityIntegrator, table: TargetCovarianceTable):
+        self._base = base
+        self._table = table
+        self.name = f"uncertain({base.name})"
+
+    def qualification_probability(
+        self, gaussian: Gaussian, point: np.ndarray, delta: float
+    ) -> IntegrationResult:
+        raise QueryError(
+            "uncertain-target integration needs candidate ids (the target "
+            "covariance group); use decide_candidates"
+        )
+
+    def decide_candidates(
+        self,
+        gaussian: Gaussian,
+        ids: np.ndarray,
+        points: np.ndarray,
+        delta: float,
+        theta: float,
+    ) -> tuple[np.ndarray, np.ndarray, list[IntegrationResult]]:
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        n = pts.shape[0]
+        accept = np.zeros(n, dtype=bool)
+        results: list[IntegrationResult | None] = [None] * n
+        groups = self._table.groups_for(ids)
+        self._base.obs = self.obs
+        try:
+            for group in np.unique(groups):
+                convolved = Gaussian(
+                    gaussian.mean,
+                    gaussian.sigma + self._table.sigma(int(group)),
+                )
+                mask = groups == group
+                idx = np.nonzero(mask)[0]
+                got_accept, _, got = self._base.decide(
+                    convolved, pts[idx], delta, theta
+                )
+                accept[idx] = got_accept
+                for slot, result in zip(idx, got):
+                    results[slot] = result
+        finally:
+            self._base.obs = None
+        return accept, ~accept, results
+
+    @property
+    def composition_independent(self) -> bool:
+        return self._base.composition_independent
+
+    @property
+    def cost_per_candidate(self) -> float:
+        return self._base.cost_per_candidate
+
+    def fork(self, seed) -> "UncertainTargetDecider":
+        return UncertainTargetDecider(self._base.fork(seed), self._table)
+
+
+# ----------------------------------------------------------------------
+# Gaussian-mixture query objects
+# ----------------------------------------------------------------------
+
+
+class MixtureFilterStrategy(Strategy):
+    """Mixture Phase-1/2 adapter: per-component filters, unioned.
+
+    Since Σwᵢ = 1, the mixture probability is at most max_i Pᵢ, so every
+    answer qualifies some component's single-Gaussian query at the same
+    θ.  Preparation runs the base strategy templates once per component
+    (dropping components a strategy proves empty); the Phase-1 rectangle
+    is the *union* of the per-component intersections, and a candidate is
+    REJECTed only when **every** live component rejects it (never
+    free-ACCEPTed: one component's acceptance does not certify the
+    mixture threshold).
+    """
+
+    name = "MIX"
+
+    def __init__(self, templates: Sequence[Strategy], mixture: GaussianMixture):
+        self._templates = [t.clone() for t in templates]
+        self._mixture = mixture
+        self._live: list[tuple[Rect, list[Strategy]]] | None = None
+
+    def prepare(self, query: ProbabilisticRangeQuery) -> None:
+        if self._mixture.dim != query.dim:
+            raise QueryError(
+                f"mixture dimension {self._mixture.dim} does not match "
+                f"query dimension {query.dim}"
+            )
+        live: list[tuple[Rect, list[Strategy]]] = []
+        for component in self._mixture.components:
+            sub = ProbabilisticRangeQuery(component, query.delta, query.theta)
+            strategies = [t.clone() for t in self._templates]
+            for strategy in strategies:
+                strategy.prepare(sub)
+            if any(s.proves_empty for s in strategies):
+                continue
+            rect: Rect | None = None
+            for strategy in strategies:
+                contribution = strategy.search_rect()
+                if contribution is None:
+                    continue
+                rect = (
+                    contribution
+                    if rect is None
+                    else rect.intersection(contribution)
+                )
+                if rect is None:
+                    break
+            if rect is None:
+                continue
+            live.append((rect, strategies))
+        self._live = live
+
+    @property
+    def proves_empty(self) -> bool:
+        self._require_prepared("_live")
+        return not self._live
+
+    @property
+    def n_live(self) -> int:
+        """Components whose Phase-1 region survived preparation."""
+        self._require_prepared("_live")
+        return len(self._live)
+
+    @property
+    def n_components(self) -> int:
+        return len(self._mixture)
+
+    def search_rect(self) -> Rect | None:
+        self._require_prepared("_live")
+        if not self._live:
+            return None
+        return Rect.union_of([rect for rect, _ in self._live])
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        self._require_prepared("_live")
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        alive = np.zeros(pts.shape[0], dtype=bool)
+        for rect, strategies in self._live:
+            pending = rect.contains_points(pts) & ~alive
+            if not np.any(pending):
+                continue
+            undecided = pending.copy()
+            for strategy in strategies:
+                if not np.any(undecided):
+                    break
+                codes = strategy.classify_many(pts[undecided])
+                idx = np.nonzero(undecided)[0]
+                undecided[idx[codes == REJECT]] = False
+            alive |= undecided
+        return np.where(alive, UNKNOWN, REJECT).astype(np.int8)
+
+    def classify_many(self, points: np.ndarray) -> np.ndarray:
+        return self.classify(points)
+
+
+class MixtureDecider(ProbabilityIntegrator):
+    """Phase-3 adapter: the weighted mixture qualification probability.
+
+    With a base integrator the estimate is Σ wᵢ · baseᵢ(point) — for
+    :class:`repro.integrate.exact.ExactIntegrator` this reproduces
+    :meth:`GaussianMixture.qualification_probability` bit for bit.
+    Without one the exact component-wise Ruben sum is used directly.
+    """
+
+    def __init__(
+        self,
+        mixture: GaussianMixture,
+        base: ProbabilityIntegrator | None = None,
+    ):
+        self._mixture = mixture
+        self._base = base
+        self.name = "mixture" if base is None else f"mixture({base.name})"
+
+    def qualification_probability(
+        self, gaussian: Gaussian, point: np.ndarray, delta: float
+    ) -> IntegrationResult:
+        # The envelope ``gaussian`` is ignored: the integrand is the
+        # mixture's own qualification probability.
+        p = np.asarray(point, dtype=float)
+        if self._base is None:
+            estimate = self._mixture.qualification_probability(p, delta)
+            return IntegrationResult(float(estimate), 0.0, 0, "mixture")
+        parts = [
+            self._base.qualification_probability(component, p, delta)
+            for component in self._mixture.components
+        ]
+        weights = self._mixture.weights
+        estimate = float(
+            sum(w * r.estimate for w, r in zip(weights, parts))
+        )
+        stderr = float(
+            math.sqrt(sum((w * r.stderr) ** 2 for w, r in zip(weights, parts)))
+        )
+        n_samples = int(sum(r.n_samples for r in parts))
+        return IntegrationResult(estimate, stderr, n_samples, self.name)
+
+    @property
+    def composition_independent(self) -> bool:
+        if self._base is None:
+            return True
+        return self._base.composition_independent
+
+    @property
+    def cost_per_candidate(self) -> float:
+        per = 1.5e-4 if self._base is None else self._base.cost_per_candidate
+        return per * len(self._mixture)
+
+    def fork(self, seed) -> "MixtureDecider":
+        base = None if self._base is None else self._base.fork(seed)
+        return MixtureDecider(self._mixture, base)
+
+
+# ----------------------------------------------------------------------
+# Probabilistic k-NN
+# ----------------------------------------------------------------------
+
+
+class KNNCutStrategy(Strategy):
+    """k-NN Phase-1 adapter: the sample-driven candidate cut.
+
+    Preparation materializes the decider's Monte Carlo sample set, bounds
+    the k-th neighbour distance with one index probe at the farthest
+    sample, and hands the resulting cut radius back to the decider — only
+    objects inside the cut sphere can be a k-NN of any sample, so they
+    (and only they) compete in Phase 3.  Phase 2 never decides anything:
+    every candidate must stay in the competition.
+    """
+
+    name = "KNN"
+
+    def __init__(self, index, decider: "KNNDecider"):
+        self._index = index
+        self._decider = decider
+        self._rect: Rect | None = None
+        self._cut_radius: float | None = None
+
+    @property
+    def cut_radius(self) -> float:
+        self._require_prepared("_rect")
+        return self._cut_radius
+
+    def prepare(self, query: ProbabilisticRangeQuery) -> None:
+        k = int(query.k)
+        if k > len(self._index):
+            raise QueryError(
+                f"k={k} exceeds database size {len(self._index)}"
+            )
+        samples = self._decider.materialize_samples(query)
+        center = query.center
+        radii = np.linalg.norm(samples - center, axis=1)
+        farthest = samples[int(np.argmax(radii))]
+        kth_distance = self._index.knn(farthest, k)[-1][1]
+        cut_radius = float(radii.max() + kth_distance + radii.max())
+        self._decider.set_cut(center, cut_radius)
+        self._cut_radius = cut_radius
+        self._rect = Rect.from_center(
+            center, np.full(query.dim, cut_radius)
+        )
+
+    def search_rect(self) -> Rect:
+        self._require_prepared("_rect")
+        return self._rect
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        return np.full(pts.shape[0], UNKNOWN, dtype=np.int8)
+
+    def classify_many(self, points: np.ndarray) -> np.ndarray:
+        return self.classify(points)
+
+
+class KNNDecider(ProbabilityIntegrator):
+    """Phase-3 adapter: per-sample win counting over the candidate block.
+
+    Estimates P(o is among the k nearest objects) by counting, over the
+    materialized query-location samples, how often each candidate is one
+    of the sample's k nearest *competitors* (the candidates inside the
+    cut sphere — the Phase-1 rectangle is a superset of the sphere, and
+    rectangle-only extras provably never win, so they are excluded from
+    the competition exactly as the legacy path excludes them).  For k = 1
+    the exact bisector upper bounds restrict the *reporting* set without
+    removing anyone from the competition.
+    """
+
+    name = "knn-mc"
+
+    def __init__(self, k: int, n_samples: int, rng: np.random.Generator):
+        self.k = int(k)
+        self.n_samples = int(n_samples)
+        self._rng = rng
+        self._samples: np.ndarray | None = None
+        self._center: np.ndarray | None = None
+        self._cut_radius: float | None = None
+
+    def materialize_samples(self, query: ProbabilisticRangeQuery) -> np.ndarray:
+        """Draw (once) and cache the Monte Carlo query-location samples."""
+        if self._samples is None:
+            self._samples = query.gaussian.sample(self.n_samples, self._rng)
+        return self._samples
+
+    def set_cut(self, center: np.ndarray, radius: float) -> None:
+        self._center = np.asarray(center, dtype=float)
+        self._cut_radius = float(radius)
+
+    def qualification_probability(
+        self, gaussian: Gaussian, point: np.ndarray, delta: float
+    ) -> IntegrationResult:
+        raise QueryError(
+            "k-NN probabilities depend on the whole candidate block; use "
+            "decide_candidates"
+        )
+
+    def decide_candidates(
+        self,
+        gaussian: Gaussian,
+        ids: np.ndarray,
+        points: np.ndarray,
+        delta: float,
+        theta: float,
+    ) -> tuple[np.ndarray, np.ndarray, list[IntegrationResult]]:
+        if self._samples is None or self._cut_radius is None:
+            raise QueryError("KNN decider used before its cut strategy prepared")
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        n = pts.shape[0]
+        accept = np.zeros(n, dtype=bool)
+        outside = IntegrationResult(0.0, 0.0, 0, "knn-cut")
+        results: list[IntegrationResult] = [outside] * n
+        deltas = pts - self._center
+        distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        compete = np.nonzero(distances <= self._cut_radius)[0]
+        if not compete.size:
+            return accept, ~accept, results
+        candidates = pts[compete]
+
+        if self.k == 1 and compete.size > 2:
+            from repro.core.nn import bisector_upper_bounds
+
+            upper = bisector_upper_bounds(gaussian, candidates)
+            reportable = upper >= theta
+        else:
+            reportable = np.ones(compete.size, dtype=bool)
+
+        wins = np.zeros(compete.size, dtype=np.int64)
+        chunk = max(1, 2_000_000 // max(1, compete.size))
+        for start in range(0, self.n_samples, chunk):
+            block = self._samples[start : start + chunk]
+            d2 = (
+                np.einsum("ij,ij->i", block, block)[:, None]
+                - 2.0 * block @ candidates.T
+                + np.einsum("ij,ij->i", candidates, candidates)[None, :]
+            )
+            if self.k == 1:
+                nearest = np.argmin(d2, axis=1)
+                np.add.at(wins, nearest, 1)
+            else:
+                nearest = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+                np.add.at(wins, nearest.ravel(), 1)
+
+        for local, slot in enumerate(compete):
+            p_hat = wins[local] / self.n_samples
+            stderr = float(
+                np.sqrt(p_hat * (1.0 - p_hat) / self.n_samples)
+            )
+            results[slot] = IntegrationResult(
+                float(p_hat), stderr, self.n_samples, "knn-mc"
+            )
+            if p_hat >= theta and reportable[local]:
+                accept[slot] = True
+        return accept, ~accept, results
+
+
+# ----------------------------------------------------------------------
+# The one entry point the engines call
+# ----------------------------------------------------------------------
+
+
+def adapt_pipeline(
+    query: ProbabilisticRangeQuery,
+    strategies: list[Strategy],
+    integrator: ProbabilityIntegrator,
+    *,
+    index,
+    targets: TargetCovarianceTable | None = None,
+    seed=None,
+) -> tuple[list[Strategy], ProbabilityIntegrator]:
+    """Swap in the kind-specific strategy list and integrator wrapper.
+
+    Exact-target PRQs pass through untouched (the hot path).  For the
+    other kinds the returned pair plugs straight into the kind-agnostic
+    stage pipeline:
+
+    - ``"uncertain"`` — :class:`ConvolvedTargetStrategy` *replaces* the
+      exact-target strategies (which are unsound for Gaussian targets)
+      and the integrator is wrapped in :class:`UncertainTargetDecider`;
+    - ``"mixture"`` — the base strategies become per-component templates
+      of a :class:`MixtureFilterStrategy` and the integrator evaluates
+      components inside a :class:`MixtureDecider`;
+    - ``"knn"`` — a fresh :class:`KNNCutStrategy`/:class:`KNNDecider`
+      pair seeded from ``query.seed`` (or the engine's per-query
+      ``seed`` when the query leaves it ``None``).
+    """
+    kind = query_kind(query)
+    if kind == "prq":
+        return strategies, integrator
+    if kind == "uncertain":
+        if targets is None:
+            raise QueryError(
+                "uncertain-target queries need a database built with a "
+                "TargetCovarianceTable (SpatialDatabase(..., target_table=...))"
+            )
+        return (
+            [ConvolvedTargetStrategy(targets)],
+            UncertainTargetDecider(integrator, targets),
+        )
+    if kind == "mixture":
+        return (
+            [MixtureFilterStrategy(strategies, query.mixture)],
+            MixtureDecider(query.mixture, integrator),
+        )
+    if kind == "knn":
+        rng_seed = query.seed if query.seed is not None else seed
+        decider = KNNDecider(
+            query.k, query.n_samples, np.random.default_rng(rng_seed)
+        )
+        return [KNNCutStrategy(index, decider)], decider
+    raise QueryError(
+        f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}"
+    )

@@ -3,27 +3,29 @@
 The sound reduction (see :mod:`repro.gaussian.mixture`): with mixture
 weights summing to one, P_mix(o) = Σ wᵢ Pᵢ(o) <= max_i Pᵢ(o), so every
 answer at threshold θ qualifies some component's single-Gaussian query at
-the same θ.  ``MixtureQueryEngine`` therefore:
-
-1. runs Phases 1+2 of the paper's engine once per component, keeping any
-   candidate some component leaves undecided or accepts;
-2. unions the per-component candidate sets;
-3. evaluates the *mixture* qualification probability of each survivor
-   (exact per-component sum by default) against θ.
+the same θ.  Mixture queries execute through the unified stage pipeline:
+:class:`repro.core.kinds.MixtureRangeQuery` carries the mixture,
+:class:`repro.core.kinds.MixtureFilterStrategy` runs Phases 1+2 once per
+component (unioning the per-component candidate sets), and
+:class:`repro.core.kinds.MixtureDecider` evaluates each survivor's
+*mixture* qualification probability (exact component-wise Ruben by
+default) against θ in Phase 3.
 
 Because the per-component filters are the paper's sound filters, no answer
 can be lost; the only cost of multi-modality is evaluating more
-candidates.
+candidates.  :class:`MixtureQueryEngine` remains as a thin convenience
+wrapper that builds the kinded query and runs it through
+:meth:`SpatialDatabase.engine`; new code can construct a
+:class:`~repro.core.kinds.MixtureRangeQuery` directly and hand it to any
+engine entry point (``execute``, ``run_batch``, ``repro.serve``,
+``repro.shard``).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.database import SpatialDatabase
-from repro.core.query import ProbabilisticRangeQuery
+from repro.core.kinds import MixtureRangeQuery
 from repro.core.stats import QueryStats
-from repro.core.strategies import REJECT, make_strategies
 from repro.errors import QueryError
 from repro.gaussian.mixture import GaussianMixture
 from repro.integrate.base import ProbabilityIntegrator
@@ -33,6 +35,12 @@ __all__ = ["MixtureQueryEngine", "mixture_range_query"]
 
 class MixtureQueryEngine:
     """PRQ processing for a :class:`GaussianMixture` query object.
+
+    A convenience wrapper over the unified pipeline: ``execute`` builds a
+    :class:`repro.core.kinds.MixtureRangeQuery` and runs it through the
+    database's standard :class:`~repro.core.engine.QueryEngine`, so the
+    result is identical to submitting the kinded query to any other
+    entry point.
 
     Parameters
     ----------
@@ -66,65 +74,17 @@ class MixtureQueryEngine:
             )
         if not 0.0 < theta < 1.0:
             raise QueryError(f"theta must lie in (0, 1), got {theta}")
-        stats = QueryStats()
-        survivors: set[int] = set()
-        with stats.time_phase("search"):
-            for component in mixture.components:
-                query = ProbabilisticRangeQuery(component, delta, theta)
-                strategies = make_strategies(self._spec)
-                for strategy in strategies:
-                    strategy.prepare(query)
-                if any(s.proves_empty for s in strategies):
-                    continue
-                rect = None
-                for strategy in strategies:
-                    contribution = strategy.search_rect()
-                    if contribution is None:
-                        continue
-                    rect = (
-                        contribution if rect is None else rect.intersection(contribution)
-                    )
-                    if rect is None:
-                        break
-                if rect is None:
-                    continue
-                ids = self._database.index.range_search_rect(rect)
-                if not ids:
-                    continue
-                points = np.vstack([self._database.point(i) for i in ids])
-                undecided = np.ones(len(ids), dtype=bool)
-                for strategy in strategies:
-                    codes = strategy.classify(points[undecided])
-                    idx = np.nonzero(undecided)[0]
-                    undecided[idx[codes == REJECT]] = False
-                # Both UNKNOWN and ACCEPT survive: acceptance under one
-                # component does not by itself certify the mixture
-                # threshold, so everything is re-evaluated in Phase 3.
-                survivors.update(ids[i] for i in np.nonzero(undecided)[0])
-            stats.retrieved = len(survivors)
+        integrator = self._integrator
+        if integrator is None:
+            from repro.integrate.exact import ExactIntegrator
 
-        accepted: list[int] = []
-        with stats.time_phase("integrate"):
-            stats.integrations = len(survivors)
-            for obj_id in survivors:
-                point = self._database.point(obj_id)
-                if self._integrator is None:
-                    probability = mixture.qualification_probability(point, delta)
-                else:
-                    probability = sum(
-                        w
-                        * self._integrator.qualification_probability(
-                            component, point, delta
-                        ).estimate
-                        for w, component in zip(
-                            mixture.weights, mixture.components
-                        )
-                    )
-                if probability >= theta:
-                    accepted.append(obj_id)
-        accepted.sort()
-        stats.results = len(accepted)
-        return accepted, stats
+            integrator = ExactIntegrator()
+        query = MixtureRangeQuery.create(mixture, delta, theta)
+        engine = self._database.engine(
+            strategies=self._spec, integrator=integrator
+        )
+        result = engine.execute(query)
+        return list(result.ids), result.stats
 
 
 def mixture_range_query(

@@ -24,6 +24,14 @@ inequality in x, whose probability under a Gaussian is a closed-form
 normal CDF (:func:`halfspace_win_probability`).  Minimizing over a few
 strong competitors gives a cheap sound upper bound that prunes most
 candidates before any sampling (:func:`bisector_upper_bounds`).
+
+The same algorithm also runs through the unified stage pipeline: a
+:class:`repro.core.kinds.KNNQuery` executed by any engine entry point
+(``execute``, ``run_batch``, ``repro.serve``, ``repro.shard``) reproduces
+:func:`probabilistic_nearest_neighbors` bit-for-bit when given the same
+seed and sample budget — this module remains the reference oracle (and
+returns the per-candidate probabilities, which the set-valued pipeline
+result does not).
 """
 
 from __future__ import annotations

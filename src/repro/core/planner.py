@@ -25,6 +25,15 @@ cache.  Because the decision never depends on the concrete query center,
 batch order or cache warmth, ``run_batch`` stays bit-identical across
 worker counts and across cold/warm caches — repeated workload shapes
 simply reuse their plan.
+
+Kinded queries (:mod:`repro.core.kinds`) plan through the same cache:
+mixtures are planned on their moment-matched envelope over the normal
+combo menu, while uncertain-target and k-NN queries get a single fixed
+kind plan whose spec is the kind name — the engine recognizes that the
+spec is not a strategy combo and lets ``adapt_pipeline`` install the
+kind's dedicated stages.  The cache key gains a kind tag plus the kind
+parameters that change the plan (target-covariance spectra, component
+count, ``k``).
 """
 
 from __future__ import annotations
@@ -37,11 +46,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.kinds import query_kind
 from repro.core.query import ProbabilisticRangeQuery
 from repro.core.selectivity import SelectivityEstimator
 from repro.core.stages import combined_search_rect
 from repro.core.strategies import UNKNOWN, Strategy, make_strategies
 from repro.errors import QueryError
+from repro.gaussian.convolve import conservative_reach_alpha
 from repro.gaussian.distribution import Gaussian
 from repro.geometry.mbr import Rect
 from repro.integrate.base import ProbabilityIntegrator
@@ -215,6 +226,11 @@ class QueryPlanner:
         Forwarded to ``make_strategies`` for both planning and the
         strategies the engine executes, so catalog-driven deployments
         plan with the same conservative radii they run with.
+    targets:
+        Optional :class:`repro.core.kinds.TargetCovarianceTable`.  Lets
+        uncertain-target plans predict the convolved Phase-1 reach from
+        the registered target spectra; without one, uncertain queries
+        are planned as if the targets were exact points.
     """
 
     def __init__(
@@ -233,6 +249,7 @@ class QueryPlanner:
         rtheta_lookup=None,
         bf_lookup=None,
         fringe_filter: str = "exact",
+        targets=None,
     ):
         if total_points < 1:
             raise QueryError(f"total_points must be >= 1, got {total_points}")
@@ -263,6 +280,7 @@ class QueryPlanner:
         self._rtheta_lookup = rtheta_lookup
         self._bf_lookup = bf_lookup
         self._fringe_filter = fringe_filter
+        self._targets = targets
         self._cache: OrderedDict[tuple, PlanDecision] = OrderedDict()
         self._cache_size = int(cache_size)
         self._lock = threading.Lock()
@@ -368,7 +386,31 @@ class QueryPlanner:
         query: ProbabilisticRangeQuery,
         integrator: ProbabilityIntegrator,
     ) -> tuple:
-        return quantized_shape_key(query, self._bins) + (integrator.name,)
+        """Quantized memoization key; kinded queries append a kind tag.
+
+        Exact-target PRQ keys keep their historical 5-tuple layout.  A
+        kinded query appends ``(kind, *extras)`` where the extras are the
+        kind parameters that change the plan: the quantized target
+        covariance spectra (uncertain), the component count (mixture), or
+        ``(k, n_samples)`` (k-NN).
+        """
+        base = quantized_shape_key(query, self._bins) + (integrator.name,)
+        kind = query_kind(query)
+        if kind == "prq":
+            return base
+        if kind == "uncertain":
+            spectra: tuple = ()
+            if self._targets is not None:
+                spectra = tuple(
+                    tuple(quantize_log(ev, self._bins) for ev in spectrum)
+                    for spectrum in self._targets.spectra()
+                )
+            return base + (kind, spectra)
+        if kind == "mixture":
+            return base + (kind, len(query.mixture.components))
+        if kind == "knn":
+            return base + (kind, query.k, query.n_samples)
+        return base + (kind,)
 
     def _dequantize(self, q: int) -> float:
         return math.exp(q / self._bins)
@@ -399,7 +441,7 @@ class QueryPlanner:
         any per-query detail finer than the key, or cache reuse would
         break the determinism contract.
         """
-        dim, spectrum, qdelta, qtheta, _ = key
+        dim, spectrum, qdelta, qtheta = key[:4]
         eigenvalues = np.array([self._dequantize(q) for q in spectrum])
         rotation = self._generic_rotation(dim)
         sigma = (rotation * eigenvalues) @ rotation.T
@@ -483,9 +525,76 @@ class QueryPlanner:
             estimates[combo] = float(weights[mask].sum() * cell)
         return estimates
 
+    def _fixed_kind_plan(
+        self,
+        key: tuple,
+        kind: str,
+        names: tuple[str, ...],
+        integrator: ProbabilityIntegrator,
+    ) -> PlanDecision:
+        """The single fixed plan for kinds with no strategy menu.
+
+        Uncertain-target and k-NN queries run a dedicated kind strategy
+        (convolved-reach filter, sample-driven cut) that has no exact-
+        target substitute, so the planner's job reduces to predicting the
+        workload.  The spec string is the *kind name* — deliberately not a
+        ``STRATEGY_COMBINATIONS`` member, which tells the engine to pass
+        its base strategies through to :func:`repro.core.kinds.adapt_pipeline`
+        untouched.
+        """
+        canonical = self._canonical_query(key)
+        if kind == "uncertain":
+            max_eig = self._targets.max_eig if self._targets is not None else 0.0
+            alpha = conservative_reach_alpha(
+                canonical.gaussian, canonical.delta, canonical.theta, max_eig
+            )
+            rect = (
+                None
+                if alpha is None
+                else Rect.from_center(
+                    canonical.center, np.full(canonical.dim, alpha)
+                )
+            )
+            retrieved = self._estimate_in_rect(rect)
+        else:  # k-NN: the cut radius is sample-driven; budget a full pass.
+            retrieved = float(self._total)
+        candidates = retrieved
+        cost = (
+            self.cost_model.search_base
+            + self.cost_model.search_per_object * retrieved
+            + self.cost_model.strategy_cost(names, retrieved)
+            + integrator.cost_per_candidate * candidates
+        )
+        choice = PlanChoice(
+            strategies=kind,
+            strategy_names=names,
+            phase1="intersect",
+            integrator=integrator.name,
+            predicted_retrieved=retrieved,
+            predicted_candidates=candidates,
+            predicted_seconds=cost,
+        )
+        return PlanDecision(chosen=choice, considered=(choice,), key=key)
+
     def _plan_key(
         self, key: tuple, caller_integrator: ProbabilityIntegrator
     ) -> PlanDecision:
+        kind = key[5] if len(key) > 5 else "prq"
+        if kind == "uncertain":
+            return self._fixed_kind_plan(
+                key, kind, ("UT",), caller_integrator
+            )
+        if kind == "knn":
+            return self._fixed_kind_plan(
+                key, kind, ("KNN",), caller_integrator
+            )
+        # Exact-target PRQs and mixtures share the combo menu: a mixture
+        # is planned on its moment-matched envelope, and the chosen combo
+        # becomes the per-component filter template inside
+        # :class:`repro.core.kinds.MixtureFilterStrategy` — which runs the
+        # combo's prepare/classify once *per component*, so the Phase-2
+        # term below is charged that many times.
+        components = key[6] if kind == "mixture" else 1
         canonical = self._canonical_query(key)
         integrators = [caller_integrator] + [
             i
@@ -534,7 +643,8 @@ class QueryPlanner:
                     cost = (
                         self.cost_model.search_base
                         + self.cost_model.search_per_object * retrieved
-                        + self.cost_model.strategy_cost(names, retrieved)
+                        + components
+                        * self.cost_model.strategy_cost(names, retrieved)
                         + integrator.cost_per_candidate * candidates
                     )
                     choices.append(

@@ -36,6 +36,12 @@ class ProbabilisticRangeQuery:
         Probability threshold, 0 < θ < 1.
     """
 
+    #: Kind tag consumed by :mod:`repro.core.kinds` — subclasses override
+    #: (``"uncertain"``, ``"mixture"``, ``"knn"``) to route execution
+    #: through their pipeline adapters; the base class is the paper's
+    #: exact-target PRQ.
+    kind = "prq"
+
     gaussian: Gaussian
     delta: float
     theta: float

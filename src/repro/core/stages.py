@@ -158,7 +158,9 @@ class FilterStage(Stage):
         for strategy in ctx.strategies:
             if not np.any(undecided):
                 break
-            codes = strategy.classify_many(ctx.points[undecided])
+            codes = strategy.classify_candidates(
+                ids_arr[undecided], ctx.points[undecided]
+            )
             rejected = codes == REJECT
             ctx.stats.note_rejections(
                 strategy.name, int(np.count_nonzero(rejected))
@@ -205,8 +207,9 @@ class IntegrateStage(Stage):
             # ``tier:*`` child spans under this phase's span.
             ctx.integrator.obs = ctx.obs
         try:
-            accept, _, estimates = ctx.integrator.decide(
+            accept, _, estimates = ctx.integrator.decide_candidates(
                 query.gaussian,
+                ids_arr[to_integrate],
                 ctx.points[to_integrate],
                 query.delta,
                 query.theta,

@@ -85,6 +85,20 @@ class Strategy(abc.ABC):
             [np.atleast_1d(self.classify(row)).astype(np.int8) for row in pts]
         )
 
+    def classify_candidates(
+        self, ids: np.ndarray, points: np.ndarray
+    ) -> np.ndarray:
+        """Classify candidates given their object ids alongside the points.
+
+        The stage pipeline's Phase 2 always calls this entry point.  The
+        paper's strategies are pure functions of the candidate *location*,
+        so the default ignores ``ids`` and delegates to
+        :meth:`classify_many`; kind adapters that keep per-object state
+        (e.g. the per-target covariance groups of
+        :class:`repro.core.kinds.ConvolvedTargetStrategy`) override it.
+        """
+        return self.classify_many(points)
+
     def clone(self) -> "Strategy":
         """An unprepared copy sharing configuration (lookups) but no
         per-query state.

@@ -7,29 +7,42 @@ so
     P(‖x − y‖ <= δ)  =  P(‖z − o‖ <= δ)  for z ~ N(q, Σ_q + Σ_o)
 
 — the two-sided problem collapses to the paper's one-sided machinery with
-a per-target covariance.  ``UncertainDatabase`` exploits this: Phase 1
-searches an R*-tree over the target *means*, padded by each target's own
-conservative reach; Phase 2 applies the BF bounds per target under the
-convolved Gaussian; Phase 3 evaluates the survivors exactly or by Monte
-Carlo.
+a per-target covariance.  This reduction now lives in the unified stage
+pipeline: a :class:`repro.core.kinds.UncertainTargetQuery` executed by a
+:class:`~repro.core.engine.QueryEngine` whose database carries a
+:class:`repro.core.kinds.TargetCovarianceTable` runs Phase 1 with the
+conservative convolved reach (:func:`repro.gaussian.conservative_reach_alpha`),
+Phase 2 with per-target convolved BF radii, and Phase 3 with the
+convolved integrand — through the exact same
+:func:`repro.core.stages.execute_pipeline` as every other query kind.
+
+.. deprecated::
+    :class:`UncertainDatabase` is a compatibility shim over that unified
+    path, kept for one release.  New code should build ::
+
+        db = SpatialDatabase(means, ids=ids,
+                             target_table=TargetCovarianceTable.from_objects(objs))
+        db.engine(...).execute(UncertainTargetQuery(gaussian, delta, theta))
+
+    which additionally unlocks ``run_batch``, ``repro.serve`` and
+    ``repro.shard`` for uncertain-target workloads.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.catalog.rtheta import ExactRThetaLookup
+from repro.core.database import SpatialDatabase
+from repro.core.kinds import TargetCovarianceTable, UncertainTargetQuery
 from repro.core.query import ProbabilisticRangeQuery
 from repro.core.stats import QueryStats
 from repro.errors import QueryError
 from repro.gaussian.distribution import Gaussian
-from repro.gaussian.radial import alpha_for_mass
-from repro.geometry.mbr import Rect
-from repro.index.rtree import RStarTree
 from repro.integrate.base import ProbabilityIntegrator
 from repro.integrate.exact import ExactIntegrator
 
@@ -51,6 +64,14 @@ class UncertainObject:
 class UncertainDatabase:
     """Targets with Gaussian locations, queried by a Gaussian query object.
 
+    .. deprecated::
+        A one-release compatibility shim: construction builds a
+        :class:`~repro.core.database.SpatialDatabase` over the target
+        means with a :class:`~repro.core.kinds.TargetCovarianceTable`,
+        and :meth:`probabilistic_range_query` delegates to the unified
+        engine (emitting a :class:`DeprecationWarning`).  Answers are
+        identical to the historical implementation.
+
     Parameters
     ----------
     objects:
@@ -69,12 +90,10 @@ class UncertainDatabase:
         self._objects = {obj.obj_id: obj for obj in objects}
         self._dim = dims.pop()
         means = np.vstack([obj.mean for obj in objects])
-        self._index = RStarTree(self._dim)
-        self._index.bulk_load(ids, means)
-        # Conservative per-object reach: the radius holding all but
-        # epsilon of the object's own mass, used to pad Phase-1 boxes.
-        self._max_sigma_eig = max(
-            float(obj.gaussian.eigenvalues[0]) for obj in objects
+        self._db = SpatialDatabase(
+            means,
+            ids=ids,
+            target_table=TargetCovarianceTable.from_objects(objects),
         )
 
     @property
@@ -97,58 +116,24 @@ class UncertainDatabase:
         integrator: ProbabilityIntegrator | None = None,
     ) -> tuple[list[int], QueryStats]:
         """Ids of targets with P(‖x − y‖ <= δ) >= θ, plus statistics."""
+        warnings.warn(
+            "UncertainDatabase is deprecated and will be removed after one "
+            "release; build a SpatialDatabase with a TargetCovarianceTable "
+            "and execute an UncertainTargetQuery through the unified engine "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if query.dim != self._dim:
             raise QueryError(
                 f"query dimension {query.dim} does not match database "
                 f"dimension {self._dim}"
             )
         evaluator = integrator or ExactIntegrator()
-        stats = QueryStats()
-
-        # Phase 1: search target means.  Under the convolved Gaussian
-        # N(q, Sigma_q + Sigma_o) a qualifying target mean must lie within
-        # alpha_upper of q; we bound alpha_upper over all targets using the
-        # worst-case covariance Sigma_q + max_eig*I (larger covariance =>
-        # flatter density => larger pruning radius is NOT guaranteed, so we
-        # bound via the isotropic upper bounding function directly).
-        with stats.time_phase("search"):
-            lam_par = 1.0 / (query.gaussian.eigenvalues[0] + self._max_sigma_eig)
-            dim = self._dim
-            # det(Sigma_q + Sigma_o) >= det(Sigma_q); the scaled theta of
-            # Eq. 29 shrinks with a smaller determinant, and a smaller theta
-            # gives a larger (safer) alpha, so use det(Sigma_q).
-            sqrt_det = math.exp(0.5 * query.gaussian.log_det_sigma)
-            scaled_theta = lam_par ** (dim / 2.0) * sqrt_det * query.theta
-            if scaled_theta >= 1.0:
-                return [], stats
-            beta = alpha_for_mass(
-                dim, math.sqrt(lam_par) * query.delta, scaled_theta
-            )
-            if beta is None:
-                return [], stats
-            alpha = beta / math.sqrt(lam_par)
-            rect = Rect.from_center(query.center, np.full(dim, alpha))
-            candidate_ids = self._index.range_search_rect(rect)
-            stats.retrieved = len(candidate_ids)
-
-        # Phases 2+3 per candidate under its convolved Gaussian.
-        accepted: list[int] = []
-        with stats.time_phase("integrate"):
-            for obj_id in candidate_ids:
-                target = self._objects[obj_id]
-                combined = Gaussian(
-                    query.center, query.gaussian.sigma + target.gaussian.sigma
-                )
-                stats.integrations += 1
-                result = evaluator.qualification_probability(
-                    combined, target.mean, query.delta
-                )
-                stats.integration_samples += result.n_samples
-                if result.meets_threshold(query.theta):
-                    accepted.append(obj_id)
-        accepted.sort()
-        stats.results = len(accepted)
-        return accepted, stats
+        kinded = UncertainTargetQuery(query.gaussian, query.delta, query.theta)
+        engine = self._db.engine(strategies="all", integrator=evaluator)
+        result = engine.execute(kinded)
+        return list(result.ids), result.stats
 
     # Convenience: build from exact points with one shared covariance.
     @classmethod

@@ -14,6 +14,7 @@ relies on:
   probabilities to validate the Monte Carlo integrators against.
 """
 
+from repro.gaussian.convolve import conservative_reach_alpha
 from repro.gaussian.distribution import Gaussian
 from repro.gaussian.mixture import GaussianMixture
 from repro.gaussian.radial import (
@@ -38,6 +39,7 @@ __all__ = [
     "r_theta",
     "offset_sphere_mass",
     "alpha_for_mass",
+    "conservative_reach_alpha",
     "GaussianQuadraticForm",
     "imhof_cdf",
     "ruben_cdf",

@@ -86,6 +86,25 @@ class ProbabilityIntegrator(abc.ABC):
         )
         return accept, ~accept, results
 
+    def decide_candidates(
+        self,
+        gaussian: Gaussian,
+        ids: np.ndarray,
+        points: np.ndarray,
+        delta: float,
+        theta: float,
+    ) -> tuple[np.ndarray, np.ndarray, list[IntegrationResult]]:
+        """:meth:`decide` with the candidate object ids alongside the rows.
+
+        The stage pipeline's Phase 3 always calls this entry point.  The
+        paper's integrand is a pure function of the candidate location,
+        so the default ignores ``ids`` and delegates to :meth:`decide`;
+        kind adapters whose integrand depends on *which* object a row is
+        (the convolved uncertain-target decider, the k-NN win counter)
+        override it.
+        """
+        return self.decide(gaussian, points, delta, theta)
+
     @property
     def composition_independent(self) -> bool:
         """Whether per-candidate results ignore which candidates co-occur.

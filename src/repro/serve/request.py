@@ -93,6 +93,33 @@ class PRQRequest:
                 f"deadline must be >= 0 seconds, got {self.deadline}"
             )
 
+    @classmethod
+    def from_query(
+        cls,
+        query: ProbabilisticRangeQuery,
+        *,
+        deadline: float | None = None,
+        priority: int = 0,
+        request_id: int | str | None = None,
+    ) -> "PRQRequest":
+        """Wrap an already-built query — including kinded ones — as a request.
+
+        This is how uncertain-target, mixture and k-NN queries
+        (:mod:`repro.core.kinds`) ride through the service: the query
+        object itself is preserved, so the engine executes it through the
+        same kind adapters as a direct ``run_batch`` call.
+        """
+        request = cls(
+            query.gaussian,
+            query.delta,
+            query.theta,
+            deadline=deadline,
+            priority=priority,
+            request_id=request_id,
+        )
+        object.__setattr__(request, "_query", query)
+        return request
+
     @property
     def query(self) -> ProbabilisticRangeQuery:
         """The validated PRQ spec this request asks for."""
@@ -104,13 +131,35 @@ class PRQRequest:
 
         Two requests share a fingerprint iff their query parameters are
         bit-identical — the exactness guarantee behind both the result
-        cache and the per-request RNG stream.
+        cache and the per-request RNG stream.  Kinded queries
+        (:meth:`from_query`) additionally hash their kind tag and the
+        kind parameters (mixture components and weights; k-NN's ``k``,
+        sample budget and seed), so a mixture never collides with a plain
+        PRQ on its envelope.
         """
         digest = hashlib.sha256()
         digest.update(np.ascontiguousarray(self.gaussian.mean, float).tobytes())
         digest.update(np.ascontiguousarray(self.gaussian.sigma, float).tobytes())
         digest.update(np.float64(self.delta).tobytes())
         digest.update(np.float64(self.theta).tobytes())
+        query = self.query
+        kind = getattr(query, "kind", "prq")
+        if kind != "prq":
+            digest.update(kind.encode())
+        if kind == "mixture":
+            mixture = query.mixture  # type: ignore[attr-defined]
+            for component, weight in zip(mixture.components, mixture.weights):
+                digest.update(
+                    np.ascontiguousarray(component.mean, float).tobytes()
+                )
+                digest.update(
+                    np.ascontiguousarray(component.sigma, float).tobytes()
+                )
+                digest.update(np.float64(weight).tobytes())
+        elif kind == "knn":
+            digest.update(np.int64(query.k).tobytes())  # type: ignore[attr-defined]
+            digest.update(np.int64(query.n_samples).tobytes())  # type: ignore[attr-defined]
+            digest.update(repr(query.seed).encode())  # type: ignore[attr-defined]
         return digest.digest()
 
     def seed_sequence(self) -> np.random.SeedSequence:

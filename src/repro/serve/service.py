@@ -38,6 +38,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.core.engine import QueryResult
+from repro.core.kinds import query_kind
 from repro.errors import (
     DeadlineExceededError,
     OverloadedError,
@@ -336,8 +337,14 @@ class QueryService:
             remaining = pending.remaining(now)
             if remaining <= 0:
                 expired.append(pending)
-            elif self.config.degrade and self._cost.would_exceed(
-                remaining, safety=self.config.degrade_safety
+            elif (
+                self.config.degrade
+                # Sandwich-bound degradation only exists for exact-target
+                # PRQs; kinded queries always run the full pipeline.
+                and query_kind(pending.request.query) == "prq"
+                and self._cost.would_exceed(
+                    remaining, safety=self.config.degrade_safety
+                )
             ):
                 degrade.append(pending)
             else:

@@ -106,6 +106,11 @@ class ShardedDatabase:
     def planner(self, **kwargs):
         return self._database.planner(**kwargs)
 
+    @property
+    def targets(self):
+        """The wrapped database's target covariance table, or ``None``."""
+        return self._database.targets
+
     # -- probabilistic querying ----------------------------------------
 
     def engine(
@@ -134,6 +139,7 @@ class ShardedDatabase:
             phase1=phase1,
             planner=planner,
             obs=obs,
+            targets=self._database.targets,
         )
 
     def probabilistic_range_query(

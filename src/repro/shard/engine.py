@@ -40,11 +40,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.engine import BatchResult, IntegratorFactory, QueryResult
+from repro.core.engine import (
+    BatchResult,
+    IntegratorFactory,
+    QueryEngine,
+    QueryResult,
+)
+from repro.core.kinds import adapt_pipeline, query_kind
 from repro.core.query import ProbabilisticRangeQuery
 from repro.core.stages import SearchStage
 from repro.core.stats import BatchStats, QueryStats
-from repro.core.strategies import Strategy
+from repro.core.strategies import STRATEGY_COMBINATIONS, Strategy
 from repro.errors import QueryError, ReproError, ShardError
 from repro.geometry.mbr import Rect
 from repro.integrate.base import ProbabilityIntegrator
@@ -276,6 +282,9 @@ class _Prepared:
     rect: Rect | None = None
     routed: list[ShardSpec] = field(default_factory=list)
     error: ReproError | None = None
+    #: Result of a query executed coordinator-side (k-NN kind, whose win
+    #: counting needs every competitor in one candidate set).
+    local: QueryResult | None = None
 
 
 class ShardedEngine:
@@ -299,6 +308,7 @@ class ShardedEngine:
         phase1: str = "intersect",
         planner=None,
         obs: Observability | None = None,
+        targets=None,
     ):
         if not strategies:
             raise QueryError("at least one strategy is required")
@@ -313,6 +323,7 @@ class ShardedEngine:
         self.phase1 = phase1
         self.planner = planner
         self.obs = obs
+        self.targets = targets
 
     # -- drop-in entry points ------------------------------------------
 
@@ -339,14 +350,13 @@ class ShardedEngine:
 
     def explain(self, query: ProbabilisticRangeQuery, *, estimator=None):
         """Delegate to an unsharded engine view over the full index."""
-        from repro.core.engine import QueryEngine
-
         probe = QueryEngine(
             self.index,
             [s.clone() for s in self.strategies],
             self.integrator,
             phase1=self.phase1,
             planner=self.planner,
+            targets=self.targets,
         )
         return probe.explain(query, estimator=estimator)
 
@@ -460,13 +470,32 @@ class ShardedEngine:
                 integrator = integrator_factory(query, seed)
             else:
                 integrator = self.integrator.fork(seed)
+            if query_kind(query) == "knn":
+                # The win count compares every competitor against every
+                # other, so the candidate set cannot be partitioned;
+                # execute against the coordinator's full index with the
+                # exact same (strategies, integrator, seed) the unsharded
+                # engine would use — bit-identical by construction.
+                engine = QueryEngine(
+                    self.index,
+                    strategies,
+                    integrator,
+                    phase1=phase1,
+                    planner=self.planner,
+                    targets=self.targets,
+                )
+                result = engine._execute_with(
+                    query, strategies, integrator, seed=seed
+                )
+                return _Prepared(stats=result.stats, local=result)
             if self.planner is not None:
                 with stats.time_phase("plan"):
                     decision = self.planner.plan(query, integrator)
                     chosen = decision.chosen
-                    strategies = self.planner.build_strategies(
-                        chosen.strategies
-                    )
+                    if chosen.strategies in STRATEGY_COMBINATIONS:
+                        strategies = self.planner.build_strategies(
+                            chosen.strategies
+                        )
                     if chosen.integrator != integrator.name:
                         picked = self.planner.integrator_for(chosen.integrator)
                         if picked is not None:
@@ -479,6 +508,18 @@ class ShardedEngine:
                     phase1 = chosen.phase1
             if not integrator.composition_independent:
                 integrator = CandidateSeededIntegrator(integrator)
+            # Kind adapters wrap *after* the composition-independence
+            # fix-up so a kind decider stays outermost and the routing
+            # rectangle below already carries the kind's Phase-1 geometry
+            # (convolved reach padding, per-component union).
+            strategies, integrator = adapt_pipeline(
+                query,
+                strategies,
+                integrator,
+                index=self.index,
+                targets=self.targets,
+                seed=seed,
+            )
             # Phase-0 routing: prepare a throwaway strategy set and reuse
             # the engine's own Phase-1 rectangle as the routing volume.
             routing = [s.clone() for s in strategies]
@@ -523,6 +564,8 @@ class ShardedEngine:
     ) -> QueryResult:
         if prep.error is not None:
             return QueryResult((), QueryStats(), error=prep.error)
+        if prep.local is not None:
+            return prep.local
         stats = prep.stats
         merged: set[int] = set()
         errors: list[ShardError] = []

@@ -1,0 +1,88 @@
+"""The shared convolved-reach helper (`repro.gaussian.convolve`).
+
+`conservative_reach_alpha(gaussian, delta, theta, max_target_eig)` is the
+one Phase-1 reach bound every uncertain-target code path shares (the UT
+strategy, the planner's fixed uncertain plan, the deprecated shim).  It
+must (a) reduce exactly to the paper's BF α∥ when targets are exact,
+(b) only ever grow with the target spread, and (c) stay *sound*: a target
+mean beyond the radius can never qualify under its convolved Gaussian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.bf import alpha_radii
+from repro.errors import QueryError
+from repro.gaussian import Gaussian, conservative_reach_alpha
+from repro.gaussian.quadform import qualification_probability_exact
+
+
+def random_gaussian(rng, dim, scale=10.0):
+    a = rng.normal(size=(dim, dim))
+    sigma = scale * (a @ a.T + dim * np.eye(dim))
+    return Gaussian(rng.normal(size=dim) * 10.0, sigma)
+
+
+class TestExactTargetReduction:
+    """max_target_eig = 0 must reproduce the single-Gaussian α∥ bit-for-bit."""
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 5])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_bf_alpha_upper(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        gaussian = random_gaussian(rng, dim)
+        delta, theta = 8.0, 0.05
+        expected, _ = alpha_radii(gaussian, delta, theta)
+        got = conservative_reach_alpha(gaussian, delta, theta, 0.0)
+        assert got == expected
+
+    def test_empty_proof_matches(self):
+        # A tiny delta with a demanding theta is provably empty both ways.
+        gaussian = Gaussian([0.0, 0.0], 100.0 * np.eye(2))
+        assert alpha_radii(gaussian, 0.01, 0.4)[0] is None
+        assert conservative_reach_alpha(gaussian, 0.01, 0.4, 0.0) is None
+
+
+class TestConvolvedBound:
+    def test_grows_with_target_spread(self):
+        gaussian = Gaussian([0.0, 0.0], 25.0 * np.eye(2))
+        alphas = [
+            conservative_reach_alpha(gaussian, 10.0, 0.01, eig)
+            for eig in (0.0, 5.0, 50.0)
+        ]
+        assert all(a is not None for a in alphas)
+        assert alphas[0] < alphas[1] < alphas[2]
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_sound_against_exact_convolved_probability(self, dim, seed):
+        """No target mean beyond alpha can reach theta under any Σ_o
+        whose largest eigenvalue respects the bound."""
+        rng = np.random.default_rng(seed)
+        gaussian = random_gaussian(rng, dim, scale=4.0)
+        delta, theta = 6.0, 0.02
+        max_eig = 9.0
+        alpha = conservative_reach_alpha(gaussian, delta, theta, max_eig)
+        assert alpha is not None
+        for _ in range(20):
+            a = rng.normal(size=(dim, dim))
+            target_sigma = a @ a.T + 0.1 * np.eye(dim)
+            target_sigma *= max_eig / np.linalg.eigvalsh(target_sigma)[-1]
+            convolved = Gaussian(gaussian.mean, gaussian.sigma + target_sigma)
+            direction = rng.normal(size=dim)
+            direction /= np.linalg.norm(direction)
+            radius = alpha * (1.0 + rng.uniform(0.01, 2.0))
+            mean = gaussian.mean + radius * direction
+            prob = qualification_probability_exact(convolved, mean, delta)
+            assert prob < theta
+
+    def test_none_when_threshold_unreachable(self):
+        gaussian = Gaussian([0.0, 0.0, 0.0], 50.0 * np.eye(3))
+        assert conservative_reach_alpha(gaussian, 0.05, 0.3, 25.0) is None
+
+    def test_negative_max_eig_raises(self):
+        gaussian = Gaussian([0.0, 0.0], np.eye(2))
+        with pytest.raises(QueryError, match="max_target_eig"):
+            conservative_reach_alpha(gaussian, 1.0, 0.1, -1.0)

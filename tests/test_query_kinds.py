@@ -1,0 +1,457 @@
+"""The query-kind battery: every kind through the one pipeline.
+
+Covers the `repro.core.kinds` contract (docs/query_types.md):
+
+- oracle parity — each kind's unified-pipeline answers equal its
+  brute-force oracle (exact convolved CDF, exact mixture sum, the legacy
+  sampling k-NN with a matched seed) across dimensions and integrators;
+- legacy parity — the deprecated `UncertainDatabase` shim and the
+  `MixtureQueryEngine` wrapper return identical answers through the
+  unified path (the shim with a `DeprecationWarning`);
+- filter soundness — no kind's Phase 1/2 ever drops a qualifying object
+  or free-accepts a non-qualifying one;
+- end-to-end determinism — mixed-kind `run_batch` across worker counts,
+  sharded execution, serve round-trips, planner kind plans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CascadeIntegrator,
+    ExactIntegrator,
+    Gaussian,
+    GaussianMixture,
+    KNNQuery,
+    MixtureQueryEngine,
+    MixtureRangeQuery,
+    ProbabilisticRangeQuery,
+    SpatialDatabase,
+    TargetCovarianceTable,
+    UncertainDatabase,
+    UncertainObject,
+    UncertainTargetQuery,
+    probabilistic_nearest_neighbors,
+    query_kind,
+)
+from repro.core.kinds import QUERY_KINDS, adapt_pipeline
+from repro.core.strategies import STRATEGY_COMBINATIONS, make_strategies
+from repro.errors import QueryError
+from repro.gaussian.quadform import qualification_probability_exact
+
+
+def make_points(n, dim, seed=0, span=1000.0):
+    return np.random.default_rng(seed).random((n, dim)) * span
+
+
+def make_target_table(ids, dim, seed=5, n_groups=3, scale=40.0):
+    """A few distinct target covariances spread over the object ids."""
+    rng = np.random.default_rng(seed)
+    sigmas = []
+    for _ in range(n_groups):
+        a = rng.normal(size=(dim, dim))
+        sigmas.append(scale * (a @ a.T + np.eye(dim)))
+    group_of = {int(i): int(i) % n_groups for i in ids}
+    return TargetCovarianceTable(group_of, sigmas)
+
+
+def paper_like_gaussian(dim, scale=900.0):
+    sigma = scale * np.eye(dim)
+    sigma[0, 0] *= 2.0
+    return Gaussian(np.full(dim, 500.0), sigma)
+
+
+# ----------------------------------------------------------------------
+# Kind plumbing
+# ----------------------------------------------------------------------
+
+
+class TestKindTags:
+    def test_vocabulary(self):
+        assert QUERY_KINDS == ("prq", "uncertain", "mixture", "knn")
+
+    def test_query_kind_reader(self):
+        g = Gaussian([0.0, 0.0], np.eye(2))
+        assert query_kind(ProbabilisticRangeQuery(g, 1.0, 0.1)) == "prq"
+        assert query_kind(UncertainTargetQuery(g, 1.0, 0.1)) == "uncertain"
+        mix = GaussianMixture([g])
+        assert query_kind(MixtureRangeQuery.create(mix, 1.0, 0.1)) == "mixture"
+        assert query_kind(KNNQuery.create(g, k=1, theta=0.2)) == "knn"
+
+    def test_knn_validation(self):
+        g = Gaussian([0.0, 0.0], np.eye(2))
+        with pytest.raises(QueryError, match="k must be"):
+            KNNQuery.create(g, k=0, theta=0.2)
+        with pytest.raises(QueryError, match="n_samples"):
+            KNNQuery.create(g, k=1, theta=0.2, n_samples=5)
+
+    def test_mixture_requires_mixture(self):
+        g = Gaussian([0.0, 0.0], np.eye(2))
+        with pytest.raises(QueryError, match="GaussianMixture"):
+            MixtureRangeQuery(g, 1.0, 0.1)
+
+    def test_adapt_pipeline_requires_targets(self):
+        g = Gaussian([0.0, 0.0], np.eye(2))
+        query = UncertainTargetQuery(g, 1.0, 0.1)
+        with pytest.raises(QueryError, match="target"):
+            adapt_pipeline(
+                query, make_strategies("all"), ExactIntegrator(),
+                index=None, targets=None,
+            )
+
+    def test_uncertain_without_table_fails_in_engine(self):
+        db = SpatialDatabase(make_points(50, 2))
+        query = UncertainTargetQuery(paper_like_gaussian(2), 60.0, 0.05)
+        with pytest.raises(QueryError, match="target"):
+            db.engine(strategies="all").execute(query)
+
+
+class TestTargetCovarianceTable:
+    def test_groups_and_max_eig(self):
+        table = make_target_table(range(10), 2)
+        assert table.n_groups == 3
+        assert table.dim == 2
+        assert len(table) == 10
+        eigs = [np.linalg.eigvalsh(table.sigma(g))[-1] for g in range(3)]
+        assert table.max_eig == pytest.approx(max(eigs))
+
+    def test_unknown_id_raises(self):
+        table = TargetCovarianceTable.shared(np.eye(2), [1, 2, 3])
+        with pytest.raises(QueryError, match="no target covariance"):
+            table.groups_for([1, 99])
+
+    def test_validation(self):
+        with pytest.raises(QueryError, match="at least one"):
+            TargetCovarianceTable({}, [])
+        with pytest.raises(QueryError, match="unknown covariance group"):
+            TargetCovarianceTable({1: 2}, [np.eye(2)])
+        with pytest.raises(QueryError, match="share one"):
+            TargetCovarianceTable({1: 0}, [np.eye(2), np.eye(3)])
+
+    def test_from_objects_dedupes(self):
+        sigma = 4.0 * np.eye(2)
+        objs = [UncertainObject(i, Gaussian([i, 0.0], sigma)) for i in range(5)]
+        table = TargetCovarianceTable.from_objects(objs)
+        assert table.n_groups == 1
+
+    def test_database_dim_mismatch(self):
+        table = TargetCovarianceTable.shared(np.eye(3), range(10))
+        with pytest.raises(QueryError, match="dimension"):
+            SpatialDatabase(make_points(10, 2), target_table=table)
+
+
+# ----------------------------------------------------------------------
+# Oracle parity + filter soundness, per kind
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize(
+    "integrator", [ExactIntegrator(), CascadeIntegrator()],
+    ids=["exact", "cascade"],
+)
+class TestUncertainOracleParity:
+    def test_matches_exact_convolved_oracle(self, dim, integrator):
+        points = make_points(250, dim, seed=dim)
+        ids = np.arange(250)
+        table = make_target_table(ids, dim, seed=dim + 1)
+        db = SpatialDatabase(points, ids=ids, target_table=table)
+        query = UncertainTargetQuery(paper_like_gaussian(dim), 90.0, 0.03)
+
+        expected = []
+        for i, point in zip(ids, points):
+            convolved = Gaussian(
+                query.center,
+                query.gaussian.sigma + table.sigma(int(i) % 3),
+            )
+            prob = qualification_probability_exact(
+                convolved, point, query.delta
+            )
+            if prob >= query.theta:
+                expected.append(int(i))
+        assert expected, "oracle answer set must be non-empty to be a test"
+
+        for spec in ("all", "auto"):
+            result = db.engine(
+                strategies=spec, integrator=integrator
+            ).execute(query)
+            assert list(result.ids) == expected
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize(
+    "integrator", [ExactIntegrator(), CascadeIntegrator()],
+    ids=["exact", "cascade"],
+)
+class TestMixtureOracleParity:
+    def test_matches_exact_mixture_oracle(self, dim, integrator):
+        points = make_points(250, dim, seed=10 + dim)
+        db = SpatialDatabase(points)
+        comps = [
+            Gaussian(np.full(dim, 300.0), 900.0 * np.eye(dim)),
+            Gaussian(np.full(dim, 700.0), 400.0 * np.eye(dim)),
+        ]
+        mixture = GaussianMixture(comps, [1.0, 2.0])
+        # 3-D qualification mass needs a larger reach to keep the oracle
+        # answer set non-empty.
+        query = MixtureRangeQuery.create(
+            mixture, 80.0 if dim == 2 else 160.0, 0.04
+        )
+
+        expected = [
+            i for i, point in enumerate(points)
+            if mixture.qualification_probability(point, query.delta)
+            >= query.theta
+        ]
+        assert expected
+
+        for spec in ("all", "auto"):
+            result = db.engine(
+                strategies=spec, integrator=integrator
+            ).execute(query)
+            assert list(result.ids) == expected
+
+
+class TestKNNLegacyParity:
+    @pytest.mark.parametrize("dim", [2, 3])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_matches_legacy_sampler_bit_for_bit(self, dim, k):
+        points = make_points(300, dim, seed=20 + dim)
+        db = SpatialDatabase(points)
+        gaussian = paper_like_gaussian(dim)
+        legacy = probabilistic_nearest_neighbors(
+            db, gaussian, k=k, theta=0.05, n_samples=800, seed=9
+        )
+        expected = sorted(c.obj_id for c in legacy)
+
+        query = KNNQuery.create(
+            gaussian, k=k, theta=0.05, n_samples=800, seed=9
+        )
+        for spec in ("all", "auto"):
+            result = db.engine(strategies=spec).execute(query)
+            assert sorted(result.ids) == expected
+
+
+# ----------------------------------------------------------------------
+# Legacy entry-point parity
+# ----------------------------------------------------------------------
+
+
+class TestDeprecatedShims:
+    def make_uncertain_db(self, dim=2, n=150):
+        points = make_points(n, dim, seed=3)
+        rng = np.random.default_rng(4)
+        objs = []
+        for i, point in enumerate(points):
+            a = rng.normal(size=(dim, dim))
+            objs.append(
+                UncertainObject(i, Gaussian(point, 30.0 * (a @ a.T + np.eye(dim))))
+            )
+        return objs, points
+
+    def test_shim_warns_and_matches_unified(self):
+        objs, points = self.make_uncertain_db()
+        legacy_db = UncertainDatabase(objs)
+        query = ProbabilisticRangeQuery(paper_like_gaussian(2), 90.0, 0.03)
+
+        with pytest.warns(DeprecationWarning, match="UncertainDatabase"):
+            legacy_ids, legacy_stats = legacy_db.probabilistic_range_query(query)
+
+        db = SpatialDatabase(
+            points,
+            ids=[o.obj_id for o in objs],
+            target_table=TargetCovarianceTable.from_objects(objs),
+        )
+        kinded = UncertainTargetQuery(query.gaussian, query.delta, query.theta)
+        result = db.engine(
+            strategies="all", integrator=ExactIntegrator()
+        ).execute(kinded)
+        assert legacy_ids == list(result.ids)
+        assert legacy_stats.retrieved == result.stats.retrieved
+        assert legacy_stats.integrations == result.stats.integrations
+
+    def test_mixture_wrapper_matches_unified(self):
+        points = make_points(200, 2, seed=8)
+        db = SpatialDatabase(points)
+        mixture = GaussianMixture(
+            [
+                Gaussian([300.0, 300.0], 900.0 * np.eye(2)),
+                Gaussian([700.0, 700.0], 400.0 * np.eye(2)),
+            ]
+        )
+        wrapper_ids, wrapper_stats = MixtureQueryEngine(db).execute(
+            mixture, 80.0, 0.05
+        )
+        result = db.engine(
+            strategies="all", integrator=ExactIntegrator()
+        ).execute(MixtureRangeQuery.create(mixture, 80.0, 0.05))
+        assert wrapper_ids == list(result.ids)
+        assert wrapper_stats.integrations == result.stats.integrations
+
+
+# ----------------------------------------------------------------------
+# End-to-end: batch, shards, serve, planner
+# ----------------------------------------------------------------------
+
+
+def mixed_kind_queries(dim=2):
+    gaussian = paper_like_gaussian(dim)
+    mixture = GaussianMixture(
+        [
+            Gaussian(np.full(dim, 300.0), 900.0 * np.eye(dim)),
+            Gaussian(np.full(dim, 700.0), 400.0 * np.eye(dim)),
+        ],
+        [1.0, 2.0],
+    )
+    return [
+        ProbabilisticRangeQuery(gaussian, 60.0, 0.05),
+        UncertainTargetQuery(gaussian, 60.0, 0.05),
+        MixtureRangeQuery.create(mixture, 60.0, 0.05),
+        KNNQuery.create(gaussian, k=2, theta=0.1, n_samples=400, seed=2),
+    ]
+
+
+def kinded_db(n=250, dim=2):
+    ids = np.arange(n)
+    return SpatialDatabase(
+        make_points(n, dim, seed=1),
+        ids=ids,
+        target_table=TargetCovarianceTable.shared(50.0 * np.eye(dim), ids),
+    )
+
+
+class TestMixedKindExecution:
+    def test_run_batch_worker_parity(self):
+        db = kinded_db()
+        queries = mixed_kind_queries()
+        engine = db.engine(strategies="auto", integrator=CascadeIntegrator())
+        baseline = engine.run_batch(queries, workers=1, base_seed=11)
+        for workers in (2, 3):
+            batch = engine.run_batch(queries, workers=workers, base_seed=11)
+            for a, b in zip(baseline, batch):
+                assert list(a.ids) == list(b.ids)
+
+    def test_every_kind_executes_through_pipeline(self):
+        """Each kind reports stage timings — proof it ran execute_pipeline."""
+        db = kinded_db()
+        engine = db.engine(strategies="all", integrator=ExactIntegrator())
+        for query in mixed_kind_queries():
+            stats = engine.execute(query).stats
+            assert "search" in stats.phase_seconds, query_kind(query)
+
+    def test_shard_parity(self):
+        db = kinded_db()
+        queries = mixed_kind_queries()
+        single = db.engine(
+            strategies="all", integrator=CascadeIntegrator()
+        ).run(queries)
+        with db.shard(2) as sharded:
+            engine = sharded.engine(
+                strategies="all", integrator=CascadeIntegrator()
+            )
+            scattered = engine.run(queries)
+        for a, b in zip(single, scattered):
+            assert list(a.ids) == list(b.ids)
+
+    def test_serve_round_trip(self):
+        from repro.serve import PRQRequest
+
+        db = kinded_db()
+        queries = mixed_kind_queries()
+        direct = db.engine(
+            strategies="all", integrator=CascadeIntegrator()
+        ).run(queries)
+        with db.serve(integrator=CascadeIntegrator()) as service:
+            futures = [
+                service.submit(PRQRequest.from_query(q)) for q in queries
+            ]
+            responses = [f.result() for f in futures]
+        for result, response in zip(direct, responses):
+            assert response.status == "ok"
+            assert list(response.ids) == list(result.ids)
+
+    def test_fingerprints_distinguish_kinds(self):
+        from repro.serve import PRQRequest
+
+        prints = {
+            PRQRequest.from_query(q).fingerprint for q in mixed_kind_queries()
+        }
+        assert len(prints) == 4
+
+
+class TestPlannerKindPlans:
+    def test_kind_plans_are_distinct(self):
+        db = kinded_db()
+        engine = db.engine(strategies="auto", integrator=ExactIntegrator())
+        gaussian = paper_like_gaussian(2)
+
+        prq_stats = engine.execute(
+            ProbabilisticRangeQuery(gaussian, 60.0, 0.05)
+        ).stats
+        assert prq_stats.plan_strategies in STRATEGY_COMBINATIONS.values()
+
+        ut_stats = engine.execute(
+            UncertainTargetQuery(gaussian, 60.0, 0.05)
+        ).stats
+        assert ut_stats.plan_strategies == ("UT",)
+
+        knn_stats = engine.execute(
+            KNNQuery.create(gaussian, k=1, theta=0.2, n_samples=200)
+        ).stats
+        assert knn_stats.plan_strategies == ("KNN",)
+
+    def test_cache_key_separates_target_tables(self):
+        """Same query shape, different target spectra: no plan sharing."""
+        points = make_points(100, 2, seed=2)
+        ids = np.arange(100)
+        gaussian = paper_like_gaussian(2)
+        query = UncertainTargetQuery(gaussian, 60.0, 0.05)
+        keys = []
+        for scale in (10.0, 400.0):
+            db = SpatialDatabase(
+                points, ids=ids,
+                target_table=TargetCovarianceTable.shared(
+                    scale * np.eye(2), ids
+                ),
+            )
+            planner = db.planner()
+            decision = planner.plan(query, ExactIntegrator())
+            keys.append(decision.key)
+        assert keys[0] != keys[1]
+
+    def test_explain_renders_kind_plans(self):
+        db = kinded_db()
+        engine = db.engine(strategies="auto", integrator=ExactIntegrator())
+        gaussian = paper_like_gaussian(2)
+        ut = engine.explain(
+            UncertainTargetQuery(gaussian, 60.0, 0.05)
+        ).render()
+        assert "UT" in ut
+        knn = engine.explain(
+            KNNQuery.create(gaussian, k=1, theta=0.2, n_samples=200)
+        ).render()
+        assert "KNN" in knn
+
+
+class TestNoRegressionForPrq:
+    def test_plain_prq_unchanged_by_target_table(self):
+        """A prq query on a targets-carrying database ignores the table."""
+        points = make_points(200, 2, seed=6)
+        plain = SpatialDatabase(points)
+        with_table = SpatialDatabase(
+            points,
+            target_table=TargetCovarianceTable.shared(
+                50.0 * np.eye(2), range(200)
+            ),
+        )
+        query = ProbabilisticRangeQuery(paper_like_gaussian(2), 60.0, 0.05)
+        a = plain.engine(
+            strategies="all", integrator=ExactIntegrator()
+        ).execute(query)
+        b = with_table.engine(
+            strategies="all", integrator=ExactIntegrator()
+        ).execute(query)
+        assert list(a.ids) == list(b.ids)
+        assert a.stats.retrieved == b.stats.retrieved
