@@ -220,7 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
                        '"sigma_scale": s?, "deadline_ms": ms?, "priority": p?, '
                        '"id": any?, "kind": "prq"|"uncertain"|"mixture"|"knn"?'
                        "} (kinded specs take the fields described in "
-                       "docs/query_types.md)")
+                       "docs/query_types.md).  Lines carrying a \"type\" of "
+                       "subscribe/update/unsubscribe/notify are standing-"
+                       "query requests (docs/monitoring.md): subscribe takes "
+                       'the query fields plus "sub": key?; update takes '
+                       '{"type": "update", "sub": key, "center": [...], '
+                       '"sigma": [[...]]?, "deadline_ms": ms?}')
     serve.add_argument("--max-batch", type=int, default=32,
                        help="largest coalesced micro-batch per drain")
     serve.add_argument("--window-ms", type=float, default=2.0,
@@ -256,6 +261,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the metrics registry as Prometheus-style "
                        "text exposition")
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="demo safe-region monitoring: a moving fleet of standing "
+        "queries (docs/monitoring.md)",
+    )
+    monitor.add_argument("database", help="database file from "
+                         "SpatialDatabase.save (.soa store or legacy .npz)")
+    monitor.add_argument("--subscriptions", type=int, default=200,
+                         help="standing queries to register")
+    monitor.add_argument("--steps", type=int, default=20,
+                         help="location-update rounds over the whole fleet")
+    monitor.add_argument("--step-sd", type=float, default=None, metavar="SD",
+                         help="per-step movement std-dev per axis (default: "
+                         "0.1%% of the data extent)")
+    monitor.add_argument("--delta", type=float, default=None,
+                         help="range threshold (default: 2%% of the extent)")
+    monitor.add_argument("--theta", type=float, default=0.5,
+                         help="probability threshold")
+    monitor.add_argument("--sigma-scale", type=float, default=None,
+                         metavar="SCALE",
+                         help="isotropic query covariance SCALE*I (default: "
+                         "(delta/8)^2)")
+    monitor.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-update deadline; pressed updates degrade "
+                         "to sound probability intervals")
+    monitor.add_argument("--seed", type=int, default=0,
+                         help="fleet placement/trajectory seed")
+    monitor.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="write the monitor trace as JSON-lines spans")
+    monitor.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write the metrics registry as Prometheus-"
+                         "style text exposition")
 
     trace = commands.add_parser(
         "trace", help="render a JSON-lines trace from 'query --trace-out'"
@@ -765,12 +803,57 @@ def _parse_serve_request(spec: dict, dim: int, line_no: int, seed: int = 0):
     )
 
 
+def _parse_monitor_request(spec: dict, dim: int, line_no: int):
+    """Build one MonitorRequest from a JSON-lines spec (raises on misuse).
+
+    Monitor lines carry ``"type"`` (subscribe/update/unsubscribe/notify)
+    and address their subscription through ``"sub"``; subscribe lines
+    additionally take the usual query fields (center/sigma/sigma_scale/
+    delta/theta).
+    """
+    from repro import Gaussian
+    from repro.serve import MonitorRequest, REQUEST_SUBSCRIBE, REQUEST_UPDATE
+
+    request_type = spec["type"]
+    request_id = spec.get("id", line_no)
+    sub = spec.get("sub")
+    deadline = spec.get("deadline_ms")
+    deadline = None if deadline is None else float(deadline) / 1e3
+    if request_type == REQUEST_SUBSCRIBE:
+        center = np.asarray(spec["center"], dtype=float)
+        if "sigma" in spec:
+            sigma = np.asarray(spec["sigma"], dtype=float)
+        else:
+            sigma = float(spec.get("sigma_scale", 1.0)) * np.eye(dim)
+        return MonitorRequest.subscribe(
+            Gaussian(center, sigma),
+            float(spec["delta"]),
+            float(spec["theta"]),
+            subscription_id=sub,
+            request_id=request_id,
+        )
+    if sub is None:
+        raise ValueError(f'"{request_type}" line needs "sub"')
+    if request_type == REQUEST_UPDATE:
+        sigma = spec.get("sigma")
+        return MonitorRequest.update(
+            sub,
+            np.asarray(spec["center"], dtype=float),
+            None if sigma is None else np.asarray(sigma, dtype=float),
+            deadline=deadline,
+            request_id=request_id,
+        )
+    return MonitorRequest(
+        request_type, subscription_id=sub, request_id=request_id
+    )
+
+
 def _cmd_serve(args) -> int:
     import json
     from pathlib import Path
 
     from repro.errors import ReproError
-    from repro.serve import STATUS_FAILED
+    from repro.serve import REQUEST_TYPES, STATUS_FAILED
 
     db = _load_database(args.database)
     if args.target_sigma_scale is not None:
@@ -799,7 +882,10 @@ def _cmd_serve(args) -> int:
     )
     # Each handle is either a response future or, for a malformed line,
     # the ready-made failure row — output stays one line per request, in
-    # submission order, and a bad line never kills the service.
+    # submission order, and a bad line never kills the service.  Monitor
+    # lines (a "type" of subscribe/update/unsubscribe/notify) execute
+    # synchronously at submission, so a later update always sees the
+    # effect of every earlier line on its subscription.
     handles = []
     with service:
         for line_no, line in enumerate(lines):
@@ -807,9 +893,17 @@ def _cmd_serve(args) -> int:
             if not line:
                 continue
             try:
-                request = _parse_serve_request(
-                    json.loads(line), db.dim, line_no, args.seed
-                )
+                spec = json.loads(line)
+                if "type" in spec:
+                    if spec["type"] not in REQUEST_TYPES:
+                        raise ValueError(
+                            f"unknown request type {spec['type']!r}; "
+                            f"expected one of {REQUEST_TYPES}"
+                        )
+                    request = _parse_monitor_request(spec, db.dim, line_no)
+                    handles.append(service.monitor.handle(request).to_dict())
+                    continue
+                request = _parse_serve_request(spec, db.dim, line_no, args.seed)
             except (KeyError, TypeError, ValueError, ReproError) as exc:
                 handles.append({"id": line_no, "status": STATUS_FAILED,
                                 "error": f"bad request: {exc}"})
@@ -821,12 +915,92 @@ def _cmd_serve(args) -> int:
             )
             print(json.dumps(row), flush=True)
     print("summary:", json.dumps(service.stats()), file=sys.stderr)
+    monitor_stats = service.monitor.stats()
+    if monitor_stats["subscribed"] or monitor_stats["updates"]:
+        print("monitor:", json.dumps(monitor_stats), file=sys.stderr)
     # stdout is the response stream, so export notices go to stderr.
     if obs is not None:
         if args.trace_out is not None:
             count = obs.export_trace(args.trace_out)
             print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)
         if args.metrics_out is not None:
+            Path(args.metrics_out).write_text(obs.render_metrics())
+            print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    """A self-contained fleet-monitoring demonstration.
+
+    Registers a fleet of standing subscriptions, drives them along
+    random-walk trajectories, and reports the survive/re-integrate/
+    re-plan outcome mix plus update throughput — the working model for
+    the safe-region machinery behind ``docs/monitoring.md``.
+    """
+    import time
+
+    from repro import Gaussian
+    from repro.integrate import CascadeIntegrator
+    from repro.serve import SubscriptionManager
+
+    db = _load_database(args.database)
+    points = np.asarray(db.points)
+    lows, highs = points.min(axis=0), points.max(axis=0)
+    extent = float(np.max(highs - lows))
+    delta = args.delta if args.delta is not None else 0.02 * extent
+    step_sd = args.step_sd if args.step_sd is not None else 0.001 * extent
+    sigma_scale = (
+        args.sigma_scale if args.sigma_scale is not None else (delta / 8.0) ** 2
+    )
+    deadline = None if args.deadline_ms is None else args.deadline_ms / 1e3
+    obs = _make_obs(args)
+    engine = db.engine(integrator=CascadeIntegrator(), obs=obs)
+    monitor = SubscriptionManager(db, engine, obs=obs)
+    rng = np.random.default_rng(args.seed)
+    sigma = sigma_scale * np.eye(db.dim)
+    positions = rng.uniform(lows, highs, size=(args.subscriptions, db.dim))
+    print(f"database: {len(db)} points, extent {extent:g}")
+    print(f"fleet: {args.subscriptions} subscriptions, delta={delta:g}, "
+          f"theta={args.theta:g}, sigma={sigma_scale:g}*I, "
+          f"step sd={step_sd:g}")
+    started = time.perf_counter()
+    for key in range(args.subscriptions):
+        response = monitor.subscribe(
+            Gaussian(positions[key], sigma), delta, args.theta,
+            subscription_id=key,
+        )
+        if response.status != "ok":
+            print(f"error: subscribe {key} failed: {response.error}",
+                  file=sys.stderr)
+            return 2
+    subscribe_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    updates = 0
+    for _step in range(args.steps):
+        positions += rng.normal(0.0, step_sd, size=positions.shape)
+        np.clip(positions, lows, highs, out=positions)
+        for key in range(args.subscriptions):
+            monitor.update(key, positions[key], deadline=deadline)
+            updates += 1
+    update_seconds = time.perf_counter() - started
+    stats = monitor.stats()
+    print(f"\nsubscribed {args.subscriptions} queries in "
+          f"{subscribe_seconds:.2f}s; "
+          f"ran {updates} updates in {update_seconds:.2f}s "
+          f"({updates / update_seconds:,.0f} updates/s)")
+    print(f"{'outcome':>14} {'count':>8} {'share':>7}")
+    for outcome in ("survived", "reintegrated", "replanned", "degraded"):
+        count = stats[outcome]
+        print(f"{outcome:>14} {count:>8} {count / max(updates, 1):>6.1%}")
+    print(f"\nrechecked candidates: {stats['rechecked_candidates']} "
+          f"({stats['rechecked_candidates'] / max(updates, 1):.1f}/update)")
+    if obs is not None:
+        if args.trace_out is not None:
+            count = obs.export_trace(args.trace_out)
+            print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)
+        if args.metrics_out is not None:
+            from pathlib import Path
+
             Path(args.metrics_out).write_text(obs.render_metrics())
             print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
     return 0
@@ -858,6 +1032,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "figures": _cmd_figures,
     "serve": _cmd_serve,
+    "monitor": _cmd_monitor,
     "trace": _cmd_trace,
 }
 

@@ -19,6 +19,11 @@ Entry points::
 ``repro serve`` exposes the same loop over JSON-lines on the command
 line.  The full lifecycle, batching knobs, degradation semantics and
 telemetry contract are documented in ``docs/serving.md``.
+
+The service also hosts *standing* queries: ``service.monitor`` is a
+:class:`SubscriptionManager` that anchors each subscription to a
+pre-approximated safe region and answers location updates in O(1)
+whenever the cached answer provably survives (``docs/monitoring.md``).
 """
 
 from __future__ import annotations
@@ -26,6 +31,20 @@ from __future__ import annotations
 from repro.serve.batching import AdmissionQueue
 from repro.serve.cache import ResultCache
 from repro.serve.degrade import DEGRADED_TIER, CostTracker, degraded_execute
+from repro.serve.monitor import (
+    MonitorRequest,
+    MonitorResponse,
+    OUTCOME_DEGRADED,
+    OUTCOME_REINTEGRATED,
+    OUTCOME_REPLANNED,
+    OUTCOME_SURVIVED,
+    REQUEST_NOTIFY,
+    REQUEST_SUBSCRIBE,
+    REQUEST_TYPES,
+    REQUEST_UNSUBSCRIBE,
+    REQUEST_UPDATE,
+    SubscriptionManager,
+)
 from repro.serve.request import (
     PRQRequest,
     PRQResponse,
@@ -42,6 +61,9 @@ __all__ = [
     "ServiceConfig",
     "PRQRequest",
     "PRQResponse",
+    "SubscriptionManager",
+    "MonitorRequest",
+    "MonitorResponse",
     "AdmissionQueue",
     "ResultCache",
     "CostTracker",
@@ -52,4 +74,13 @@ __all__ = [
     "STATUS_OVERLOADED",
     "STATUS_DEADLINE_EXCEEDED",
     "STATUS_FAILED",
+    "REQUEST_SUBSCRIBE",
+    "REQUEST_UPDATE",
+    "REQUEST_UNSUBSCRIBE",
+    "REQUEST_NOTIFY",
+    "REQUEST_TYPES",
+    "OUTCOME_SURVIVED",
+    "OUTCOME_REINTEGRATED",
+    "OUTCOME_REPLANNED",
+    "OUTCOME_DEGRADED",
 ]

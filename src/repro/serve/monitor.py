@@ -1,0 +1,930 @@
+"""Standing subscriptions: safe-region monitoring through the service.
+
+A *subscription* is one PRQ(q, δ, θ) that stays registered while its
+query object moves.  Instead of re-running the pipeline per location
+update (the legacy ``repro.core.monitor`` loop), the
+:class:`SubscriptionManager` anchors each subscription once — full
+answer plus a :class:`~repro.core.saferegion.SafeRegion` — and then
+answers every update by classifying it against the region:
+
+- **survived** — the shift is covered by every cached row's slack; the
+  anchor answer is returned unchanged.  O(1): one d×d mat-vec and a
+  binary search, no index, no integration.
+- **reintegrated** — only the slack-exhausted border rows run Phase 2/3
+  again (fresh strategy clones over the cached points); every other
+  decision is proven to stand.
+- **replanned** — the covariance changed, the translated Phase-1
+  rectangle escaped the cached candidate superset, or too many slacks
+  broke: the subscription re-anchors with a full engine run (scattered
+  across shards when the engine is a
+  :class:`~repro.shard.engine.ShardedEngine`).
+
+Every non-degraded answer is **bit-identical** to a cold full
+evaluation of the same query at the updated location — the contract
+``docs/monitoring.md`` proves and ``tests/test_monitor_subscriptions.py``
+checks against random trajectories.  The guarantee needs two gates,
+enforced at :meth:`SubscriptionManager.subscribe`: the engine's
+integrator must be *composition independent* (per-candidate decisions
+cannot depend on how candidates are grouped — true of the default
+cascade) and the query must be an exact-target PRQ (kinded queries ride
+the regular request path).
+
+Deadline pressure degrades *soundly*: when an update carries a
+``deadline`` smaller than the predicted reintegration cost, the manager
+answers with the proven-certain ids plus one ``(id, lower, upper)``
+χ²-sandwich interval per still-open row, flags the response
+``stale=True`` and leaves the subscription's committed answer untouched
+(a later unconstrained update, or a replan, re-converges).  Structural
+replans always execute fully — a broken region cannot answer soundly at
+any fidelity.
+
+Telemetry (when the service has an :class:`~repro.obs.Observability`):
+``repro_monitor_*`` metrics and one ``monitor:update`` span per update,
+as tabulated in ``docs/monitoring.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.kinds import query_kind
+from repro.core.query import ProbabilisticRangeQuery
+from repro.core.saferegion import (
+    DECISION_REINTEGRATE,
+    DECISION_REPLAN,
+    DECISION_SURVIVED,
+    RegionDecision,
+    SafeRegion,
+)
+from repro.core.stages import FilterStage, IntegrateStage, SearchStage, StageContext
+from repro.core.stats import QueryStats
+from repro.errors import QueryError, ReproError, ServiceError
+from repro.gaussian.distribution import Gaussian
+from repro.gaussian.quadform import chi2_sandwich_bounds_block
+from repro.serve.degrade import CostTracker
+from repro.serve.request import STATUS_DEGRADED, STATUS_FAILED, STATUS_OK
+
+__all__ = [
+    "SubscriptionManager",
+    "MonitorRequest",
+    "MonitorResponse",
+    "REQUEST_SUBSCRIBE",
+    "REQUEST_UPDATE",
+    "REQUEST_UNSUBSCRIBE",
+    "REQUEST_NOTIFY",
+    "REQUEST_TYPES",
+    "OUTCOME_SURVIVED",
+    "OUTCOME_REINTEGRATED",
+    "OUTCOME_REPLANNED",
+    "OUTCOME_DEGRADED",
+]
+
+#: Register a standing query; the response carries its first full answer.
+REQUEST_SUBSCRIBE = "subscribe"
+#: Move (and optionally re-shape) a subscription's query object.
+REQUEST_UPDATE = "update"
+#: Retire a subscription and drop its safe region.
+REQUEST_UNSUBSCRIBE = "unsubscribe"
+#: Read a subscription's committed answer without touching its state.
+REQUEST_NOTIFY = "notify"
+#: Every request type the monitoring surface accepts, in contract order.
+REQUEST_TYPES = (
+    REQUEST_SUBSCRIBE,
+    REQUEST_UPDATE,
+    REQUEST_UNSUBSCRIBE,
+    REQUEST_NOTIFY,
+)
+
+#: The cached answer survived as-is (O(1), no integration).
+OUTCOME_SURVIVED = DECISION_SURVIVED
+#: Border rows were re-decided; the rest of the answer was proven stable.
+OUTCOME_REINTEGRATED = "reintegrated"
+#: The subscription re-anchored with a full engine run.
+OUTCOME_REPLANNED = "replanned"
+#: The deadline bit: certain ids plus sound intervals, state untouched.
+OUTCOME_DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class MonitorRequest:
+    """One monitoring request line (see ``docs/monitoring.md``).
+
+    ``type`` selects the verb; which other fields are required depends on
+    it and is validated eagerly: ``subscribe`` needs ``gaussian``,
+    ``delta`` and ``theta``; ``update`` needs ``subscription_id`` and
+    ``mean`` (``sigma`` only when the covariance changed, ``deadline``
+    optionally bounds this update's seconds); ``unsubscribe``/``notify``
+    need ``subscription_id`` alone.
+    """
+
+    type: str
+    subscription_id: int | str | None = None
+    gaussian: Gaussian | None = None
+    delta: float | None = None
+    theta: float | None = None
+    mean: np.ndarray | None = None
+    sigma: np.ndarray | None = None
+    deadline: float | None = None
+    request_id: int | str | None = None
+
+    def __post_init__(self) -> None:
+        if self.type not in REQUEST_TYPES:
+            raise ServiceError(
+                f"unknown monitor request type {self.type!r}; "
+                f"expected one of {REQUEST_TYPES}"
+            )
+        if self.type == REQUEST_SUBSCRIBE:
+            if self.gaussian is None or self.delta is None or self.theta is None:
+                raise ServiceError(
+                    "subscribe requires gaussian, delta and theta"
+                )
+            # Validate δ/θ exactly as a query would, eagerly.
+            ProbabilisticRangeQuery(self.gaussian, self.delta, self.theta)
+        elif self.subscription_id is None:
+            raise ServiceError(f"{self.type} requires subscription_id")
+        if self.type == REQUEST_UPDATE and self.mean is None:
+            raise ServiceError("update requires mean")
+        if self.deadline is not None and not self.deadline >= 0:
+            raise ServiceError(
+                f"deadline must be >= 0 seconds, got {self.deadline}"
+            )
+
+    @classmethod
+    def subscribe(
+        cls,
+        gaussian: Gaussian,
+        delta: float,
+        theta: float,
+        *,
+        subscription_id: int | str | None = None,
+        request_id: int | str | None = None,
+    ) -> "MonitorRequest":
+        return cls(
+            REQUEST_SUBSCRIBE,
+            subscription_id=subscription_id,
+            gaussian=gaussian,
+            delta=delta,
+            theta=theta,
+            request_id=request_id,
+        )
+
+    @classmethod
+    def update(
+        cls,
+        subscription_id: int | str,
+        mean,
+        sigma=None,
+        *,
+        deadline: float | None = None,
+        request_id: int | str | None = None,
+    ) -> "MonitorRequest":
+        return cls(
+            REQUEST_UPDATE,
+            subscription_id=subscription_id,
+            mean=np.asarray(mean, dtype=float),
+            sigma=None if sigma is None else np.asarray(sigma, dtype=float),
+            deadline=deadline,
+            request_id=request_id,
+        )
+
+    @classmethod
+    def unsubscribe(
+        cls,
+        subscription_id: int | str,
+        *,
+        request_id: int | str | None = None,
+    ) -> "MonitorRequest":
+        return cls(
+            REQUEST_UNSUBSCRIBE,
+            subscription_id=subscription_id,
+            request_id=request_id,
+        )
+
+    @classmethod
+    def notify(
+        cls,
+        subscription_id: int | str,
+        *,
+        request_id: int | str | None = None,
+    ) -> "MonitorRequest":
+        return cls(
+            REQUEST_NOTIFY,
+            subscription_id=subscription_id,
+            request_id=request_id,
+        )
+
+
+@dataclass(frozen=True)
+class MonitorResponse:
+    """The manager's answer to one :class:`MonitorRequest`.
+
+    ``status`` reuses the service vocabulary (``ok``/``degraded``/
+    ``failed``); ``outcome`` is one of the ``OUTCOME_*`` constants for
+    updates (empty for the other verbs).  ``ids`` is the full exact
+    answer except on degraded responses, where it holds only *proven*
+    accepts and ``bounds`` encloses every still-open candidate.
+    ``added``/``removed`` are the delta against the subscription's
+    previously committed answer (empty on degraded responses, which
+    commit nothing).
+    """
+
+    request_id: int | str | None
+    type: str
+    status: str
+    subscription_id: int | str | None = None
+    outcome: str = ""
+    ids: tuple[int, ...] = ()
+    added: tuple[int, ...] = ()
+    removed: tuple[int, ...] = ()
+    #: Sound ``(object_id, lower, upper)`` enclosures for candidates a
+    #: degraded update could not decide against θ.
+    bounds: tuple[tuple[int, float, float], ...] = ()
+    #: Cached rows re-decided by this update (0 for survived/notify).
+    rechecked: int = 0
+    #: Mahalanobis length of the update's mean shift from the anchor.
+    shift: float = 0.0
+    #: True when this answer (or, for ``notify``, the committed answer it
+    #: echoes) has been overtaken by a degraded update.
+    stale: bool = False
+    error: ReproError | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the request produced a usable answer."""
+        return self.status in (STATUS_OK, STATUS_DEGRADED)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable digest (the ``repro serve`` output rows)."""
+        payload: dict = {
+            "id": self.request_id,
+            "type": self.type,
+            "status": self.status,
+            "subscription_id": self.subscription_id,
+            "ids": list(self.ids),
+            "stale": self.stale,
+            "service_ms": round(self.seconds * 1e3, 3),
+        }
+        if self.type == REQUEST_UPDATE:
+            payload["outcome"] = self.outcome
+            payload["added"] = list(self.added)
+            payload["removed"] = list(self.removed)
+            payload["rechecked"] = self.rechecked
+            payload["shift"] = round(self.shift, 6)
+        if self.bounds:
+            payload["bounds"] = [
+                [obj_id, lower, upper] for obj_id, lower, upper in self.bounds
+            ]
+        if self.error is not None:
+            payload["error"] = str(self.error)
+        return payload
+
+
+@dataclass
+class _Subscription:
+    """Mutable per-subscription state (guarded by the manager lock)."""
+
+    key: int | str
+    query: ProbabilisticRangeQuery
+    region: SafeRegion
+    #: The last committed (full-fidelity) answer.
+    reported: tuple[int, ...]
+    #: True when a degraded update has been seen since ``reported``.
+    stale: bool = False
+    updates: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def _anchor_seed(query: ProbabilisticRangeQuery) -> np.random.SeedSequence:
+    """The fingerprint-derived seed stream for one anchor's executions.
+
+    Mirrors :meth:`repro.serve.request.PRQRequest.seed_sequence`: a pure
+    function of (mean, Σ, δ, θ), so every execution a subscription ever
+    performs — anchor, replan, reintegration — forks its integrator from
+    the same entry state a direct service request for that anchor would.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(query.gaussian.mean, float).tobytes())
+    digest.update(np.ascontiguousarray(query.gaussian.sigma, float).tobytes())
+    digest.update(np.float64(query.delta).tobytes())
+    digest.update(np.float64(query.theta).tobytes())
+    return np.random.SeedSequence(int.from_bytes(digest.digest()[:16], "big"))
+
+
+class SubscriptionManager:
+    """Safe-region monitoring over one engine (plain or sharded).
+
+    Thread-safe and synchronous: every verb runs on the calling thread
+    under one lock (updates are designed to be cheap — that is the whole
+    point), bypassing the service's micro-batch queue.  Construct
+    directly or reach the one a :class:`~repro.serve.QueryService` owns
+    as ``service.monitor``.
+
+    ``margin`` scales each cached candidate superset (0.5 = 50 % wider
+    per side); ``replan_fraction``/``replan_min`` bound how many cached
+    rows an update may re-decide in place before re-anchoring is
+    considered cheaper; ``degrade``/``degrade_safety`` control
+    deadline-aware degradation exactly as on the request path.
+    """
+
+    def __init__(
+        self,
+        database,
+        engine,
+        *,
+        margin: float = 0.5,
+        replan_fraction: float = 0.35,
+        replan_min: int = 8,
+        degrade: bool = True,
+        degrade_safety: float = 2.0,
+        cost_prior: float = 0.005,
+        obs=None,
+        clock=None,
+    ):
+        if margin < 0:
+            raise ServiceError(f"margin must be >= 0, got {margin}")
+        if not 0.0 <= replan_fraction <= 1.0:
+            raise ServiceError(
+                f"replan_fraction must lie in [0, 1], got {replan_fraction}"
+            )
+        if degrade_safety < 1.0:
+            raise ServiceError(
+                f"degrade_safety must be >= 1, got {degrade_safety}"
+            )
+        self.database = database
+        self.engine = engine
+        self.margin = float(margin)
+        self.replan_fraction = float(replan_fraction)
+        self.replan_min = int(replan_min)
+        self.degrade = bool(degrade)
+        self.degrade_safety = float(degrade_safety)
+        self._clock = clock if clock is not None else time.monotonic
+        self._obs = obs
+        self._lock = threading.Lock()
+        self._subs: dict[int | str, _Subscription] = {}
+        self._auto_key = 0
+        self._reintegrate_cost = CostTracker(prior=cost_prior)
+        self._counters: dict[str, int] = {
+            "subscribed": 0,
+            "unsubscribed": 0,
+            "updates": 0,
+            "survived": 0,
+            "reintegrated": 0,
+            "replanned": 0,
+            "degraded": 0,
+            "notified": 0,
+            "failed": 0,
+            "rechecked_candidates": 0,
+        }
+        # The registry dict is not locked, so every monitor metric is
+        # registered here — before any other thread can race the
+        # registration — and only the pre-fetched objects are written
+        # later (under the manager lock).
+        self._metrics = None
+        if obs is not None and getattr(obs, "metrics", None) is not None:
+            from repro.obs import COUNT_BUCKETS, TIME_BUCKETS
+
+            registry = obs.metrics
+            self._metrics = {
+                "updates": registry.counter(
+                    "repro_monitor_updates_total",
+                    "Subscription updates by outcome.",
+                    labelnames=("outcome",),
+                ),
+                "seconds": registry.histogram(
+                    "repro_monitor_update_seconds",
+                    "Wall seconds per subscription update.",
+                    buckets=TIME_BUCKETS,
+                ),
+                "rechecked": registry.histogram(
+                    "repro_monitor_rechecked_candidates",
+                    "Cached rows re-decided per update.",
+                    buckets=COUNT_BUCKETS,
+                ),
+                "subscriptions": registry.gauge(
+                    "repro_monitor_subscriptions",
+                    "Currently active subscriptions.",
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        gaussian: Gaussian,
+        delta: float,
+        theta: float,
+        *,
+        subscription_id: int | str | None = None,
+        request_id: int | str | None = None,
+    ) -> MonitorResponse:
+        """Register a standing PRQ; the response carries its full answer.
+
+        Raises :class:`~repro.errors.ServiceError` on API misuse (an
+        integrator without composition independence, a kinded query, a
+        duplicate id, a dimension mismatch); execution failures come back
+        as ``failed`` responses instead.
+        """
+        started = self._clock()
+        if not self.engine.integrator.composition_independent:
+            raise ServiceError(
+                "subscriptions require a composition-independent "
+                "integrator (the cascade, exact methods, or a "
+                "CandidateSeededIntegrator wrap): per-candidate decisions "
+                "must not depend on which candidates are rechecked "
+                "together"
+            )
+        if gaussian.dim != self.database.dim:
+            raise QueryError(
+                f"subscription dimension {gaussian.dim} does not match "
+                f"database dimension {self.database.dim}"
+            )
+        query = ProbabilisticRangeQuery(gaussian, delta, theta)
+        if query_kind(query) != "prq":
+            raise ServiceError(
+                "subscriptions cover exact-target PRQs only; kinded "
+                "queries ride the regular request path"
+            )
+        with self._lock:
+            key = subscription_id
+            if key is None:
+                self._auto_key += 1
+                key = self._auto_key
+            if key in self._subs:
+                raise ServiceError(f"subscription {key!r} already exists")
+            try:
+                answer, region = self._anchor(query, reuse=None)
+            except ReproError as exc:
+                self._counters["failed"] += 1
+                return MonitorResponse(
+                    request_id=request_id,
+                    type=REQUEST_SUBSCRIBE,
+                    status=STATUS_FAILED,
+                    subscription_id=key,
+                    error=exc,
+                    seconds=self._clock() - started,
+                )
+            self._subs[key] = _Subscription(
+                key=key, query=query, region=region, reported=answer
+            )
+            self._counters["subscribed"] += 1
+            if self._metrics is not None:
+                self._metrics["subscriptions"].set(len(self._subs))
+        return MonitorResponse(
+            request_id=request_id,
+            type=REQUEST_SUBSCRIBE,
+            status=STATUS_OK,
+            subscription_id=key,
+            ids=answer,
+            added=answer,
+            seconds=self._clock() - started,
+        )
+
+    def update(
+        self,
+        subscription_id: int | str,
+        mean,
+        sigma=None,
+        *,
+        deadline: float | None = None,
+        request_id: int | str | None = None,
+    ) -> MonitorResponse:
+        """Move a subscription's query object and return the fresh answer.
+
+        The safe region classifies the shift in O(1); the response's
+        ``outcome`` says what that cost: ``survived`` (nothing executed),
+        ``reintegrated`` (Phase 2/3 over ``rechecked`` cached rows),
+        ``replanned`` (full engine run and a new region), or ``degraded``
+        (the ``deadline`` bit — proven ids plus sound intervals,
+        committed state untouched).
+        """
+        started = self._clock()
+        with self._lock:
+            sub = self._subs.get(subscription_id)
+            if sub is None:
+                self._counters["failed"] += 1
+                return MonitorResponse(
+                    request_id=request_id,
+                    type=REQUEST_UPDATE,
+                    status=STATUS_FAILED,
+                    subscription_id=subscription_id,
+                    error=QueryError(
+                        f"unknown subscription {subscription_id!r}"
+                    ),
+                    seconds=self._clock() - started,
+                )
+            span = (
+                self._obs.span("monitor:update", subscription=str(sub.key))
+                if self._obs is not None
+                else None
+            )
+            if span is not None:
+                span.__enter__()
+            try:
+                response = self._update_locked(
+                    sub, mean, sigma, deadline, request_id, started
+                )
+                if span is not None:
+                    span.annotate(
+                        outcome=response.outcome,
+                        rechecked=response.rechecked,
+                        shift=response.shift,
+                    )
+            except ReproError as exc:
+                self._counters["failed"] += 1
+                response = MonitorResponse(
+                    request_id=request_id,
+                    type=REQUEST_UPDATE,
+                    status=STATUS_FAILED,
+                    subscription_id=sub.key,
+                    error=exc,
+                    seconds=self._clock() - started,
+                )
+            finally:
+                if span is not None:
+                    span.__exit__(None, None, None)
+            self._counters["updates"] += 1
+            if self._metrics is not None and response.outcome:
+                self._metrics["updates"].inc(1, outcome=response.outcome)
+                self._metrics["seconds"].observe(response.seconds)
+                self._metrics["rechecked"].observe(response.rechecked)
+        return response
+
+    def unsubscribe(
+        self,
+        subscription_id: int | str,
+        *,
+        request_id: int | str | None = None,
+    ) -> MonitorResponse:
+        """Retire a subscription; its last committed answer is echoed."""
+        started = self._clock()
+        with self._lock:
+            sub = self._subs.pop(subscription_id, None)
+            if sub is None:
+                self._counters["failed"] += 1
+                return MonitorResponse(
+                    request_id=request_id,
+                    type=REQUEST_UNSUBSCRIBE,
+                    status=STATUS_FAILED,
+                    subscription_id=subscription_id,
+                    error=QueryError(
+                        f"unknown subscription {subscription_id!r}"
+                    ),
+                    seconds=self._clock() - started,
+                )
+            self._counters["unsubscribed"] += 1
+            if self._metrics is not None:
+                self._metrics["subscriptions"].set(len(self._subs))
+        return MonitorResponse(
+            request_id=request_id,
+            type=REQUEST_UNSUBSCRIBE,
+            status=STATUS_OK,
+            subscription_id=subscription_id,
+            ids=sub.reported,
+            stale=sub.stale,
+            seconds=self._clock() - started,
+        )
+
+    def notify(
+        self,
+        subscription_id: int | str,
+        *,
+        request_id: int | str | None = None,
+    ) -> MonitorResponse:
+        """Read the committed answer without touching subscription state.
+
+        ``stale=True`` warns that a degraded update has been observed
+        since the answer was committed — re-issue the update without a
+        deadline to re-converge.
+        """
+        started = self._clock()
+        with self._lock:
+            sub = self._subs.get(subscription_id)
+            if sub is None:
+                self._counters["failed"] += 1
+                return MonitorResponse(
+                    request_id=request_id,
+                    type=REQUEST_NOTIFY,
+                    status=STATUS_FAILED,
+                    subscription_id=subscription_id,
+                    error=QueryError(
+                        f"unknown subscription {subscription_id!r}"
+                    ),
+                    seconds=self._clock() - started,
+                )
+            self._counters["notified"] += 1
+            return MonitorResponse(
+                request_id=request_id,
+                type=REQUEST_NOTIFY,
+                status=STATUS_OK,
+                subscription_id=subscription_id,
+                ids=sub.reported,
+                stale=sub.stale,
+                seconds=self._clock() - started,
+            )
+
+    def handle(self, request: MonitorRequest) -> MonitorResponse:
+        """Dispatch one request line; misuse becomes a ``failed`` response."""
+        try:
+            if request.type == REQUEST_SUBSCRIBE:
+                assert request.gaussian is not None
+                return self.subscribe(
+                    request.gaussian,
+                    float(request.delta),  # type: ignore[arg-type]
+                    float(request.theta),  # type: ignore[arg-type]
+                    subscription_id=request.subscription_id,
+                    request_id=request.request_id,
+                )
+            assert request.subscription_id is not None
+            if request.type == REQUEST_UPDATE:
+                return self.update(
+                    request.subscription_id,
+                    request.mean,
+                    request.sigma,
+                    deadline=request.deadline,
+                    request_id=request.request_id,
+                )
+            if request.type == REQUEST_UNSUBSCRIBE:
+                return self.unsubscribe(
+                    request.subscription_id, request_id=request.request_id
+                )
+            return self.notify(
+                request.subscription_id, request_id=request.request_id
+            )
+        except ReproError as exc:
+            with self._lock:
+                self._counters["failed"] += 1
+            return MonitorResponse(
+                request_id=request.request_id,
+                type=request.type,
+                status=STATUS_FAILED,
+                subscription_id=request.subscription_id,
+                error=exc,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot plus the active-subscription count."""
+        with self._lock:
+            snapshot = dict(self._counters)
+            snapshot["active_subscriptions"] = len(self._subs)
+        return snapshot
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def region_of(self, subscription_id: int | str) -> SafeRegion:
+        """The subscription's current safe region (for inspection/tests)."""
+        with self._lock:
+            sub = self._subs.get(subscription_id)
+            if sub is None:
+                raise QueryError(f"unknown subscription {subscription_id!r}")
+            return sub.region
+
+    # ------------------------------------------------------------------
+    # Internals (caller holds the lock)
+    # ------------------------------------------------------------------
+
+    def _update_locked(
+        self, sub, mean, sigma, deadline, request_id, started
+    ) -> MonitorResponse:
+        mean = np.asarray(mean, dtype=float)
+        decision = sub.region.classify(
+            mean,
+            None if sigma is None else np.asarray(sigma, dtype=float),
+            replan_fraction=self.replan_fraction,
+            replan_min=self.replan_min,
+        )
+        if decision.kind == DECISION_REINTEGRATE:
+            if (
+                self.degrade
+                and deadline is not None
+                and self._reintegrate_cost.would_exceed(
+                    deadline, safety=self.degrade_safety
+                )
+            ):
+                return self._degraded_update(
+                    sub, mean, decision, request_id, started
+                )
+            reintegrated = self._reintegrate(sub, mean, decision)
+            if reintegrated is None:
+                # The shifted rectangle escaped the cached superset after
+                # all (classify's O(d) check uses translation
+                # equivariance; the prepared strategies are definitive).
+                decision = RegionDecision(
+                    DECISION_REPLAN, reason="cache-overrun", shift=decision.shift
+                )
+            else:
+                # Re-anchor at the new position: the answer is exact, the
+                # rectangle is already prepared, the candidate cache and
+                # the shell radii carry over — only the per-row slacks
+                # need recomputing.  This keeps the measured shift
+                # per-update instead of cumulative, so slow motion keeps
+                # hitting the O(1) survived path.
+                answer, query, region = reintegrated
+                sub.query = query
+                sub.region = region
+                self._reintegrate_cost.observe(self._clock() - started)
+                return self._commit(
+                    sub,
+                    answer,
+                    OUTCOME_REINTEGRATED,
+                    decision,
+                    request_id,
+                    started,
+                )
+        if decision.kind == DECISION_REPLAN:
+            # Structural breaks always execute fully, deadline or not: a
+            # broken region cannot answer soundly at any fidelity.
+            new_sigma = (
+                sub.query.gaussian.sigma if sigma is None else sigma
+            )
+            query = ProbabilisticRangeQuery(
+                Gaussian(mean, new_sigma), sub.query.delta, sub.query.theta
+            )
+            answer, region = self._anchor(query, reuse=sub.region)
+            sub.query = query
+            sub.region = region
+            return self._commit(
+                sub, answer, OUTCOME_REPLANNED, decision, request_id, started
+            )
+        # Survived: the anchor answer is provably exact at the new mean.
+        return self._commit(
+            sub,
+            sub.region.answer,
+            OUTCOME_SURVIVED,
+            decision,
+            request_id,
+            started,
+        )
+
+    def _commit(
+        self, sub, answer, outcome, decision, request_id, started
+    ) -> MonitorResponse:
+        previous = frozenset(sub.reported)
+        current = frozenset(answer)
+        added = tuple(sorted(current - previous))
+        removed = tuple(sorted(previous - current))
+        sub.reported = tuple(answer)
+        sub.stale = False
+        sub.updates += 1
+        self._counters[outcome] += 1
+        self._counters["rechecked_candidates"] += decision.n_recheck
+        return MonitorResponse(
+            request_id=request_id,
+            type=REQUEST_UPDATE,
+            status=STATUS_OK,
+            subscription_id=sub.key,
+            outcome=outcome,
+            ids=tuple(answer),
+            added=added,
+            removed=removed,
+            rechecked=decision.n_recheck,
+            shift=decision.shift,
+            seconds=self._clock() - started,
+        )
+
+    def _degraded_update(
+        self, sub, mean, decision, request_id, started
+    ) -> MonitorResponse:
+        """Sound partial answer under deadline pressure; commits nothing.
+
+        Only reached for *reintegrate* decisions, so Σ is unchanged and
+        the translated rectangle fits the cache — the preconditions under
+        which the sandwich intervals below enclose the truth.
+        """
+        query = sub.query
+        shifted = Gaussian(mean, query.gaussian.sigma)
+        certain = sub.region.certain_accept_ids(decision)
+        rows = decision.recheck
+        assert rows is not None
+        bounds: list[tuple[int, float, float]] = []
+        accepted: list[int] = list(certain)
+        if rows.size:
+            enclosure = chi2_sandwich_bounds_block(
+                shifted, sub.region.points[rows], query.delta
+            )
+            lower, upper = enclosure[:, 0], enclosure[:, 1]
+            row_ids = sub.region.ids[rows]
+            for obj_id, lo, hi in zip(row_ids, lower, upper):
+                if lo >= query.theta:
+                    accepted.append(int(obj_id))
+                elif hi >= query.theta:
+                    bounds.append((int(obj_id), float(lo), float(hi)))
+        bounds.sort(key=lambda triple: triple[0])
+        sub.stale = True
+        self._counters[OUTCOME_DEGRADED] += 1
+        self._counters["rechecked_candidates"] += decision.n_recheck
+        return MonitorResponse(
+            request_id=request_id,
+            type=REQUEST_UPDATE,
+            status=STATUS_DEGRADED,
+            subscription_id=sub.key,
+            outcome=OUTCOME_DEGRADED,
+            ids=tuple(sorted(accepted)),
+            bounds=tuple(bounds),
+            rechecked=decision.n_recheck,
+            shift=decision.shift,
+            stale=True,
+            seconds=self._clock() - started,
+        )
+
+    def _anchor(
+        self, query: ProbabilisticRangeQuery, *, reuse: SafeRegion | None
+    ) -> tuple[tuple[int, ...], SafeRegion]:
+        """Full answer + fresh safe region for ``query`` (anchor/replan).
+
+        The answer comes from ``engine.run_batch`` — a
+        :class:`~repro.shard.engine.ShardedEngine` scatters it across the
+        worker processes exactly like any other query.  The Phase-1
+        rectangle is prepared on fresh strategy clones so a concurrent
+        scheduler batch on the same engine is never perturbed.
+        """
+        seed = _anchor_seed(query)
+        batch = self.engine.run_batch(
+            [query],
+            workers=1,
+            integrator_factory=lambda _q, _s: self.engine.integrator.fork(
+                seed
+            ),
+        )
+        answer = batch.results[0].ids
+        strategies = [s.clone() for s in self.engine.strategies]
+        search = SearchStage(self.engine.index, phase1=self.engine.phase1)
+        rect = search.prepare(query, strategies, QueryStats())
+        region = SafeRegion.build(
+            query,
+            answer,
+            index=self.database.index,
+            point_of=self.database.point,
+            anchor_rect=rect,
+            margin=self.margin,
+            reuse=reuse,
+        )
+        return answer, region
+
+    def _reintegrate(self, sub, mean, decision):
+        """Phases 2/3 over the recheck rows only; ``None`` forces a replan.
+
+        Uses fresh strategy clones prepared for the *shifted* query and a
+        fresh integrator fork from the anchor's seed, so per-candidate
+        decisions match what a cold full evaluation would produce
+        (composition independence makes the restriction to a subset of
+        candidates invisible).  On success returns
+        ``(answer, shifted_query, re-anchored_region)``.
+        """
+        region = sub.region
+        query = sub.query
+        shifted = ProbabilisticRangeQuery(
+            Gaussian(mean, query.gaussian.sigma), query.delta, query.theta
+        )
+        strategies = [s.clone() for s in self.engine.strategies]
+        search = SearchStage(self.engine.index, phase1=self.engine.phase1)
+        stats = QueryStats()
+        rect = search.prepare(shifted, strategies, stats)
+        if rect is None:
+            # A strategy proved the shifted answer empty — which subsumes
+            # every certain accept (both proofs are sound).
+            answer: tuple[int, ...] = ()
+        else:
+            assert region.cached_rect is not None
+            if not region.cached_rect.contains_rect(rect):
+                return None
+            rows = decision.recheck
+            assert rows is not None
+            ctx = StageContext(
+                shifted,
+                strategies,
+                self.engine.integrator.fork(_anchor_seed(query)),
+                stats,
+                candidate_ids=region.ids[rows],
+                points=region.points[rows],
+            )
+            FilterStage().run(ctx)
+            IntegrateStage().run(ctx)
+            certain = region.certain_accept_ids(decision)
+            answer = tuple(
+                sorted(set(certain) | {int(i) for i in ctx.accepted})
+            )
+        new_region = SafeRegion.build(
+            shifted,
+            answer,
+            index=self.database.index,
+            point_of=self.database.point,
+            anchor_rect=rect,
+            margin=self.margin,
+            reuse=region,
+            radii=(region.r_accept, region.r_reject),
+        )
+        return answer, shifted, new_region

@@ -52,6 +52,7 @@ from repro.obs import QUEUE_BUCKETS, TIME_BUCKETS, Observability
 from repro.serve.batching import AdmissionQueue
 from repro.serve.cache import ResultCache
 from repro.serve.degrade import CostTracker, degraded_execute
+from repro.serve.monitor import SubscriptionManager
 from repro.serve.request import (
     PRQRequest,
     PRQResponse,
@@ -184,6 +185,19 @@ class QueryService:
             "max_batch_size": 0,
         }
         self._published: dict[str, int] = {}
+        # Standing queries: the subscription manager shares the engine
+        # (and clock/obs) but answers synchronously on the caller's
+        # thread, bypassing the micro-batch queue.  Constructed before
+        # the scheduler thread starts so its metrics registration never
+        # races the registry (which is not locked).
+        self.monitor = SubscriptionManager(
+            database,
+            self.engine,
+            degrade=self.config.degrade,
+            degrade_safety=self.config.degrade_safety,
+            obs=self._obs,
+            clock=self._clock,
+        )
         self._closing = threading.Event()
         self._scheduler = threading.Thread(
             target=self._loop, name="repro-serve-scheduler", daemon=True

@@ -71,6 +71,78 @@ def test_serving_doc_cross_links():
 
 @pytest.mark.parametrize(
     "name",
+    sorted(__import__("repro.serve.monitor", fromlist=["__all__"]).__all__),
+)
+def test_monitor_export_is_documented(name):
+    """Every ``repro.serve.monitor.__all__`` name must appear in the docs."""
+    import repro.serve.monitor
+
+    assert hasattr(repro.serve.monitor, name), (
+        f"repro.serve.monitor.__all__ lists missing name {name!r}"
+    )
+    api = (DOCS / "api.md").read_text()
+    monitoring = (DOCS / "monitoring.md").read_text()
+    assert name in api or name in monitoring, (
+        f"repro.serve.monitor.{name} is exported but appears in neither "
+        f"docs/api.md nor docs/monitoring.md — document it (or stop "
+        f"exporting it)"
+    )
+
+
+def test_monitoring_doc_cross_links():
+    """The monitoring contract must stay linked from the doc hub pages."""
+    monitoring = DOCS / "monitoring.md"
+    assert monitoring.is_file(), "docs/monitoring.md is missing"
+    for hub in ("api.md", "architecture.md", "serving.md"):
+        text = (DOCS / hub).read_text()
+        assert "monitoring.md" in text, f"docs/{hub} lost its monitoring link"
+    readme = (DOCS.parent / "README.md").read_text()
+    assert "monitoring.md" in readme, "README lost its monitoring link"
+
+
+def test_monitoring_doc_covers_the_wire_vocabulary():
+    """The contract page must spell out every request type, outcome and
+    status *value* a monitor response can carry — these strings are the
+    wire format ``repro serve`` emits, so the doc must track them."""
+    from repro.serve import REQUEST_TYPES, STATUS_DEGRADED
+    from repro.serve.monitor import (
+        OUTCOME_DEGRADED,
+        OUTCOME_REINTEGRATED,
+        OUTCOME_REPLANNED,
+        OUTCOME_SURVIVED,
+    )
+
+    monitoring = (DOCS / "monitoring.md").read_text()
+    for value in REQUEST_TYPES:
+        assert f"`{value}`" in monitoring, (
+            f"docs/monitoring.md never mentions request type `{value}`"
+        )
+    for value in (
+        OUTCOME_SURVIVED,
+        OUTCOME_REINTEGRATED,
+        OUTCOME_REPLANNED,
+        OUTCOME_DEGRADED,
+        STATUS_DEGRADED,
+    ):
+        assert f"`{value}`" in monitoring, (
+            f"docs/monitoring.md never mentions outcome/status `{value}`"
+        )
+    for metric in (
+        "repro_monitor_updates_total",
+        "repro_monitor_update_seconds",
+        "repro_monitor_rechecked_candidates",
+        "repro_monitor_subscriptions",
+    ):
+        assert metric in monitoring, (
+            f"docs/monitoring.md lost the {metric} metric row"
+        )
+    assert "monitor:update" in monitoring, (
+        "docs/monitoring.md lost the monitor:update span"
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
     sorted(__import__("repro.shard", fromlist=["__all__"]).__all__),
 )
 def test_shard_export_is_documented(name):
