@@ -8,7 +8,7 @@ block, and answers must stay within the documented parity contract
 loading a 1,000,000-point structure-of-arrays store must be O(1) —
 under 50 ms wall, independent of n.
 
-Results land in ``benchmarks/results/BENCH_kernels.json``: per kernel,
+Results land in ``BENCH_kernels.json`` at the repo root: per kernel,
 ns/candidate before (fallback) and after (dispatch), the dtype used,
 and whether the jit (compiled) backend was on.  When the suite runs
 under ``REPRO_NO_JIT=1`` the speedup gate is vacuous (before == after)

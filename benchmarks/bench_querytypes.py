@@ -9,7 +9,7 @@ each fixed strategy spec and keep the cheapest).  Answers must be
 bit-identical across every plan, fixed or auto — strategies only change
 how hard Phases 1/2 prune, never what Phase 3 decides.
 
-Results land in ``benchmarks/results/BENCH_querytypes.json``: per kind,
+Results land in ``BENCH_querytypes.json`` at the repo root: per kind,
 seconds under each fixed spec, seconds under ``auto``, the winning fixed
 spec, and the auto/best-fixed ratio the gate checks.
 

@@ -120,7 +120,7 @@ def test_serve_microbatching_speedup(benchmark):
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)
     report("serve_microbatching", table.render())
-    report_json("serve_microbatching", {
+    report_json("BENCH_serve", {
         label: {
             "wall_seconds": wall,
             "qps": n / wall,

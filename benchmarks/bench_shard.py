@@ -133,7 +133,7 @@ def test_shard_throughput_and_parity(benchmark):
         ),
     )
     report_json(
-        "shard_throughput",
+        "BENCH_shard",
         {
             "points": shard_points(),
             "queries": shard_queries(),

@@ -23,6 +23,9 @@ import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+#: Machine-readable perf-trajectory reports (``BENCH_<name>.json``) land
+#: at the repo root, next to the committed baselines CI trend-checks.
+REPO_ROOT = Path(__file__).parent.parent
 
 _collected: list[str] = []
 
@@ -53,13 +56,21 @@ def report(name: str, text: str) -> None:
 
 
 def report_json(name: str, payload: dict) -> None:
-    """Record machine-readable experiment data (per-tier counts etc.)."""
+    """Record machine-readable experiment data (per-tier counts etc.).
+
+    ``BENCH_*`` names are the repo's perf-trajectory artifacts and are
+    written to the repository root (where the committed numbers live and
+    CI smoke jobs look for them); everything else stays under
+    ``benchmarks/results/``.
+    """
     import json
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if name.startswith("BENCH_"):
+        (REPO_ROOT / f"{name}.json").write_text(text)
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.json").write_text(text)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

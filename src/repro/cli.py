@@ -39,6 +39,13 @@ Commands
     request stream (file or stdin): requests are admitted, micro-batched
     and answered one JSON response per line on stdout, with the service
     counters summarised on stderr.  See ``docs/serving.md``.
+``load``
+    Drive the embedded service with an open-loop scenario workload —
+    a single run at one offered rate, or a ``--sweep`` saturation ladder
+    that locates the shedding knee and writes the machine-readable
+    capacity report (``BENCH_capacity.json``), optionally trend-gated
+    against a committed baseline (``--check-against``).  See
+    ``docs/load.md``.
 
 Observability: ``query`` accepts ``--trace-out FILE`` (JSON-lines spans,
 viewable with ``repro trace FILE``) and ``--metrics-out FILE``
@@ -294,6 +301,62 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--metrics-out", default=None, metavar="FILE",
                          help="write the metrics registry as Prometheus-"
                          "style text exposition")
+
+    load = commands.add_parser(
+        "load",
+        help="open-loop load harness: scenario runs and capacity sweeps "
+        "against the embedded service (docs/load.md)",
+    )
+    load.add_argument("database", help="database file from "
+                      "SpatialDatabase.save (.soa store or legacy .npz)")
+    load.add_argument("--scenario", default="hotkey", metavar="NAME|FILE",
+                      help="built-in scenario (uniform, hotkey, mixed, "
+                      "storm) or a JSON ScenarioSpec file (default: hotkey)")
+    load.add_argument("--rate", type=float, default=None,
+                      help="offered rate in requests/second for a single "
+                      "run (ignored with --sweep)")
+    load.add_argument("--sweep", action="store_true",
+                      help="step offered load up a rate ladder, locate the "
+                      "shedding knee and write the capacity report")
+    load.add_argument("--rates", default=None, metavar="R1,R2,...",
+                      help="ascending offered rates for --sweep (default: "
+                      "a geometric ladder around the modelled capacity)")
+    load.add_argument("--duration", type=float, default=2.0,
+                      help="seconds of offered traffic per step")
+    load.add_argument("--real", action="store_true",
+                      help="drive a real threaded service on the wall clock "
+                      "(default: deterministic virtual time on a modelled "
+                      "cost; see docs/load.md)")
+    load.add_argument("--cost-ms", type=float, default=4.0,
+                      help="virtual mode: modelled full-fidelity cost per "
+                      "query in milliseconds")
+    load.add_argument("--parallelism", type=float, default=4.0,
+                      help="virtual mode: modelled worker parallelism "
+                      "inside one coalesced batch")
+    load.add_argument("--batch-overhead-ms", type=float, default=0.5,
+                      help="virtual mode: modelled fixed cost per batch")
+    load.add_argument("--max-batch", type=int, default=32,
+                      help="largest coalesced micro-batch per drain")
+    load.add_argument("--window-ms", type=float, default=2.0,
+                      help="batch window in milliseconds")
+    load.add_argument("--queue-size", type=int, default=256,
+                      help="admission-queue bound")
+    load.add_argument("--workers", type=int, default=4,
+                      help="worker threads per coalesced batch (real mode)")
+    load.add_argument("--cache-size", type=int, default=1024,
+                      help="result-cache capacity (0 disables caching)")
+    load.add_argument("--shed-threshold", type=float, default=0.01,
+                      help="shed rate at which the knee is declared")
+    load.add_argument("--seed", type=int, default=None,
+                      help="override the scenario's seed")
+    load.add_argument("--out", default=None, metavar="FILE",
+                      help="write the report JSON here (default for "
+                      "--sweep: BENCH_capacity.json)")
+    load.add_argument("--check-against", default=None, metavar="FILE",
+                      help="trend-gate the sweep against a baseline "
+                      "capacity report; exits 1 on regression")
+    load.add_argument("--tolerance", type=float, default=0.2,
+                      help="relative tolerance band for --check-against")
 
     trace = commands.add_parser(
         "trace", help="render a JSON-lines trace from 'query --trace-out'"
@@ -1006,6 +1069,143 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_load(args) -> int:
+    import json
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.errors import LoadError
+    from repro.load import (
+        SCENARIOS,
+        CapacityReport,
+        SaturationSweep,
+        ScenarioSpec,
+        VirtualCostModel,
+    )
+
+    db = _load_database(args.database)
+    if args.scenario in SCENARIOS:
+        spec = SCENARIOS[args.scenario]
+    else:
+        path = Path(args.scenario)
+        if not path.exists():
+            print(
+                f"error: --scenario {args.scenario!r} is neither a built-in "
+                f"({', '.join(sorted(SCENARIOS))}) nor a JSON spec file",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            spec = ScenarioSpec.from_dict(json.loads(path.read_text()))
+        except (LoadError, json.JSONDecodeError, TypeError) as exc:
+            print(f"error: bad scenario file {path}: {exc}", file=sys.stderr)
+            return 2
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
+    virtual = not args.real
+    cost_model = None
+    if virtual:
+        try:
+            cost_model = VirtualCostModel(
+                seconds_per_query=args.cost_ms / 1e3,
+                batch_overhead=args.batch_overhead_ms / 1e3,
+                parallelism=args.parallelism,
+            )
+        except LoadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    service_knobs = {
+        "max_batch": args.max_batch,
+        "batch_window": args.window_ms / 1e3,
+        "max_queue": args.queue_size,
+        "workers": args.workers,
+        "cache_size": args.cache_size,
+    }
+    if args.sweep:
+        if args.rates is not None:
+            try:
+                rates = [float(token) for token in args.rates.split(",")]
+            except ValueError:
+                print(f"error: bad --rates {args.rates!r}", file=sys.stderr)
+                return 2
+        else:
+            # A geometric ladder around the modelled (or guessed)
+            # single-instance capacity, crossing the knee on both sides.
+            base = (
+                cost_model.parallelism / cost_model.seconds_per_query
+                if cost_model is not None
+                else 500.0
+            )
+            rates = [base * factor for factor in
+                     (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)]
+        try:
+            sweep = SaturationSweep(
+                db, spec, rates=rates, duration=args.duration,
+                virtual=virtual, cost_model=cost_model,
+                service_knobs=service_knobs,
+                shed_threshold=args.shed_threshold,
+            )
+            report = sweep.run()
+        except LoadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"scenario {spec.name!r} "
+              f"({'virtual' if virtual else 'real'} mode, "
+              f"{args.duration:g}s per step)")
+        header = (f"{'offered':>9} {'goodput':>9} {'shed':>7} {'degr':>7} "
+                  f"{'expired':>7} {'p50ms':>9} {'p99ms':>9}")
+        print(header)
+        for step in report.steps:
+            print(f"{step['offered_qps']:>9.1f} {step['goodput_qps']:>9.1f} "
+                  f"{step['shed_rate']:>7.3f} {step['degraded_rate']:>7.3f} "
+                  f"{step['deadline_exceeded_rate']:>7.3f} "
+                  f"{step['latency_ms']['p50']:>9.2f} "
+                  f"{step['latency_ms']['p99']:>9.2f}")
+        knee = report.knee
+        if knee["saturated"]:
+            print(f"knee at ~{knee['knee_qps']:.1f} req/s "
+                  f"(shed > {knee['shed_threshold']:g}); "
+                  f"capacity {knee['capacity_qps']:.1f} req/s")
+        else:
+            print(f"no knee found up to {report.steps[-1]['offered_qps']:g} "
+                  f"req/s; max goodput {knee['capacity_qps']:.1f} req/s")
+        out = args.out if args.out is not None else "BENCH_capacity.json"
+        report.write(out)
+        print(f"wrote capacity report to {out}")
+        if args.check_against is not None:
+            try:
+                baseline = CapacityReport.load(args.check_against)
+                gate = report.compare(baseline, tolerance=args.tolerance)
+            except LoadError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(gate.summary())
+            if not gate.passed:
+                return 1
+        return 0
+    if args.rate is None:
+        print("error: pass --rate R for a single run or --sweep for a "
+              "saturation sweep", file=sys.stderr)
+        return 2
+    try:
+        sweep = SaturationSweep(
+            db, spec, rates=[args.rate], duration=args.duration,
+            virtual=virtual, cost_model=cost_model,
+            service_knobs=service_knobs,
+            shed_threshold=args.shed_threshold,
+        )
+        run = sweep.run_step(args.rate)
+    except LoadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = json.dumps(run.to_dict(), indent=2, sort_keys=True)
+    print(payload)
+    if args.out is not None:
+        Path(args.out).write_text(payload + "\n")
+        print(f"wrote run report to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.render import render_trace, summarize_trace
     from repro.obs.tracer import Tracer
@@ -1033,6 +1233,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "serve": _cmd_serve,
     "monitor": _cmd_monitor,
+    "load": _cmd_load,
     "trace": _cmd_trace,
 }
 

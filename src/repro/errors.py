@@ -97,6 +97,11 @@ class ServiceClosedError(ServiceError):
     """The service was closed; no further requests are accepted."""
 
 
+class LoadError(ReproError):
+    """Invalid load-harness usage: a malformed scenario spec, a sweep
+    without rates, or a runner driven against the wrong service mode."""
+
+
 class ShardError(ReproError):
     """A shard worker process failed while executing its slice of a query.
 

@@ -34,6 +34,7 @@ from repro.serve.degrade import DEGRADED_TIER, CostTracker, degraded_execute
 from repro.serve.monitor import (
     MonitorRequest,
     MonitorResponse,
+    MonitorSnapshot,
     OUTCOME_DEGRADED,
     OUTCOME_REINTEGRATED,
     OUTCOME_REPLANNED,
@@ -54,14 +55,16 @@ from repro.serve.request import (
     STATUS_OK,
     STATUS_OVERLOADED,
 )
-from repro.serve.service import QueryService, ServiceConfig
+from repro.serve.service import QueryService, ServiceConfig, ServiceSnapshot
 
 __all__ = [
     "QueryService",
     "ServiceConfig",
+    "ServiceSnapshot",
     "PRQRequest",
     "PRQResponse",
     "SubscriptionManager",
+    "MonitorSnapshot",
     "MonitorRequest",
     "MonitorResponse",
     "AdmissionQueue",

@@ -12,6 +12,14 @@ Admission is strictly non-blocking: :meth:`AdmissionQueue.offer` either
 enqueues or returns ``False`` immediately when the bound is hit — the
 *reject-when-full* half of the service's backpressure story.  Drains pop
 by descending ``priority`` (FIFO within a level).
+
+The queue reads time through an injectable ``clock`` (default
+``time.monotonic``): the batch-window deadline is computed against it, so
+a service under a virtual/fake clock keeps every timing decision —
+deadline expiry *and* window elapse — on the same timeline.  Condition
+waits still sleep in real time (a thread cannot block on virtual time),
+so a clock that fails to advance across a timed-out wait is treated as an
+elapsed window rather than looping forever.
 """
 
 from __future__ import annotations
@@ -29,12 +37,16 @@ class AdmissionQueue:
 
     Items must expose ``priority`` (higher drains first); arrival order
     breaks ties.  All methods are thread-safe; ``offer`` never blocks.
+    ``clock`` injects the time source used for the batch-window deadline
+    (the service passes its own, so tests can drive both deadlines and
+    window waits from one fake clock).
     """
 
-    def __init__(self, max_queue: int):
+    def __init__(self, max_queue: int, *, clock=None):
         if max_queue < 1:
             raise ServiceError(f"max_queue must be >= 1, got {max_queue}")
         self.max_queue = int(max_queue)
+        self._clock = clock if clock is not None else time.monotonic
         self._items: list = []
         self._seq = 0
         self._lock = threading.Lock()
@@ -68,9 +80,10 @@ class AdmissionQueue:
 
         Blocks up to ``poll`` seconds for a first item (returning ``[]``
         on timeout, so the caller can check its stop flag); once one is
-        present, waits until either ``window`` seconds have passed since
-        the drain began or ``max_batch`` items are queued, then pops the
-        highest-priority ``max_batch`` items (FIFO within a priority).
+        present, waits until either ``window`` seconds have passed on the
+        injected clock since the drain began or ``max_batch`` items are
+        queued, then pops the highest-priority ``max_batch`` items (FIFO
+        within a priority).
         """
         with self._nonempty:
             if not self._items:
@@ -79,17 +92,37 @@ class AdmissionQueue:
                 self._nonempty.wait(timeout=poll)
                 if not self._items:
                     return []
-            deadline = time.monotonic() + window
+            now = self._clock()
+            deadline = now + window
             while len(self._items) < max_batch and not self._closed:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - now
                 if remaining <= 0:
                     break
-                self._nonempty.wait(timeout=remaining)
-            # Stable sort on -priority keeps FIFO order within a level.
-            self._items.sort(key=lambda pair: (-pair[0].priority, pair[1]))
-            taken = self._items[:max_batch]
-            del self._items[: len(taken)]
-            return [item for item, _ in taken]
+                notified = self._nonempty.wait(timeout=min(remaining, poll))
+                previous, now = now, self._clock()
+                if not notified and now <= previous:
+                    # The injected clock did not move across a real timed
+                    # wait: it is frozen (or fully virtual), so the window
+                    # can never elapse on its own.  Treat it as elapsed.
+                    break
+            return self._pop_locked(max_batch)
+
+    def drain(self, max_batch: int) -> list:
+        """Pop up to ``max_batch`` items immediately, without waiting.
+
+        The manual-scheduling path (:meth:`QueryService.pump`): a
+        virtual-time driver decides *when* the window has elapsed on its
+        own timeline and then drains synchronously.
+        """
+        with self._lock:
+            return self._pop_locked(max_batch)
+
+    def _pop_locked(self, max_batch: int) -> list:
+        # Stable sort on -priority keeps FIFO order within a level.
+        self._items.sort(key=lambda pair: (-pair[0].priority, pair[1]))
+        taken = self._items[:max_batch]
+        del self._items[: len(taken)]
+        return [item for item, _ in taken]
 
     def close(self) -> None:
         """Refuse further offers and wake any blocked drain."""

@@ -48,7 +48,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -71,6 +71,7 @@ from repro.serve.request import STATUS_DEGRADED, STATUS_FAILED, STATUS_OK
 
 __all__ = [
     "SubscriptionManager",
+    "MonitorSnapshot",
     "MonitorRequest",
     "MonitorResponse",
     "REQUEST_SUBSCRIBE",
@@ -283,6 +284,37 @@ class MonitorResponse:
         if self.error is not None:
             payload["error"] = str(self.error)
         return payload
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """Structured monitoring state, mirroring `QueryService.snapshot`.
+
+    The typed sibling of :meth:`SubscriptionManager.stats`: cumulative
+    verb/outcome counters plus the instantaneous subscription count, so
+    harnesses read monitoring pressure (update-storm survival mix,
+    degraded share) without scraping the metrics exposition.
+    """
+
+    #: Subscriptions currently registered.
+    active_subscriptions: int
+    subscribed: int
+    unsubscribed: int
+    updates: int
+    survived: int
+    reintegrated: int
+    replanned: int
+    degraded: int
+    notified: int
+    failed: int
+    #: Cached candidate rows re-decided across all updates.
+    rechecked_candidates: int
+    #: survived / updates, 0.0 before any update.
+    survival_rate: float
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable dict (the ``repro load`` report rows)."""
+        return asdict(self)
 
 
 @dataclass
@@ -679,6 +711,26 @@ class SubscriptionManager:
             snapshot = dict(self._counters)
             snapshot["active_subscriptions"] = len(self._subs)
         return snapshot
+
+    def snapshot(self) -> MonitorSnapshot:
+        """Structured monitoring state (see :class:`MonitorSnapshot`)."""
+        with self._lock:
+            c = dict(self._counters)
+            active = len(self._subs)
+        return MonitorSnapshot(
+            active_subscriptions=active,
+            subscribed=c["subscribed"],
+            unsubscribed=c["unsubscribed"],
+            updates=c["updates"],
+            survived=c["survived"],
+            reintegrated=c["reintegrated"],
+            replanned=c["replanned"],
+            degraded=c["degraded"],
+            notified=c["notified"],
+            failed=c["failed"],
+            rechecked_candidates=c["rechecked_candidates"],
+            survival_rate=c["survived"] / c["updates"] if c["updates"] else 0.0,
+        )
 
     def __len__(self) -> int:
         with self._lock:

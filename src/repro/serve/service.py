@@ -35,7 +35,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.core.engine import QueryResult
 from repro.core.kinds import query_kind
@@ -63,7 +63,7 @@ from repro.serve.request import (
     STATUS_OVERLOADED,
 )
 
-__all__ = ["ServiceConfig", "QueryService"]
+__all__ = ["ServiceConfig", "ServiceSnapshot", "QueryService"]
 
 
 @dataclass(frozen=True)
@@ -113,6 +113,50 @@ class ServiceConfig:
             )
 
 
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """A structured, point-in-time view of one service's internal state.
+
+    :meth:`QueryService.snapshot` returns this instead of making callers
+    scrape the Prometheus exposition: load harnesses, dashboards and
+    tests read queue depth, in-flight count, cache hit rate and the
+    shed/coalesced counters as plain typed fields.  All counters are
+    cumulative since service start; ``queue_depth``/``in_flight``/
+    ``cache_entries`` are instantaneous.
+    """
+
+    #: Requests currently waiting in the admission queue.
+    queue_depth: int
+    #: Configured admission bound (``ServiceConfig.max_queue``).
+    queue_capacity: int
+    #: Submitted requests without a terminal response yet (queued or
+    #: mid-execution).
+    in_flight: int
+    submitted: int
+    #: Full-fidelity engine executions (post-coalescing leaders).
+    executed: int
+    ok: int
+    degraded: int
+    overloaded: int
+    deadline_exceeded: int
+    failed: int
+    cache_hits: int
+    cache_misses: int
+    #: Entries resident in the result cache (0 when caching is off).
+    cache_entries: int
+    #: hits / (hits + misses), 0.0 before any lookup.
+    cache_hit_rate: float
+    #: In-flight duplicates coalesced into another request's execution.
+    deduplicated: int
+    batches: int
+    coalesced_batches: int
+    max_batch_size: int
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable dict (the ``repro load`` report rows)."""
+        return asdict(self)
+
+
 class _Pending:
     """One queued request with its future and submission timestamp."""
 
@@ -148,9 +192,17 @@ class QueryService:
         # ``clock`` is injectable for tests: every deadline/degradation
         # decision and every latency figure reads it instead of the wall
         # clock, so deadline behaviour can be driven deterministically.
-        # It rides alongside either a ServiceConfig or the plain knobs.
+        # It rides alongside either a ServiceConfig or the plain knobs,
+        # as do the two load-harness knobs: ``manual=True`` skips the
+        # scheduler thread so a single-threaded driver drains via
+        # :meth:`pump`, and ``cost_model`` replaces wall-clock execution
+        # cost with a deterministic model (see ``docs/load.md``) —
+        # advancing an advanceable clock by the modelled service time so
+        # virtual-time runs are bit-reproducible.
         clock = knobs.pop("clock", None)
         self._clock = clock if clock is not None else time.monotonic
+        self._manual = bool(knobs.pop("manual", False))
+        self._cost_model = knobs.pop("cost_model", None)
         if config is not None and knobs:
             raise ServiceError("pass either a ServiceConfig or knobs, not both")
         self.config = config or ServiceConfig(**knobs)
@@ -162,7 +214,7 @@ class QueryService:
             integrator=integrator,
             obs=self._obs,
         )
-        self._queue = AdmissionQueue(self.config.max_queue)
+        self._queue = AdmissionQueue(self.config.max_queue, clock=self._clock)
         self._cache = (
             ResultCache(self.config.cache_size)
             if self.config.cache_size > 0
@@ -199,10 +251,12 @@ class QueryService:
             clock=self._clock,
         )
         self._closing = threading.Event()
-        self._scheduler = threading.Thread(
-            target=self._loop, name="repro-serve-scheduler", daemon=True
-        )
-        self._scheduler.start()
+        self._scheduler: threading.Thread | None = None
+        if not self._manual:
+            self._scheduler = threading.Thread(
+                target=self._loop, name="repro-serve-scheduler", daemon=True
+            )
+            self._scheduler.start()
 
     # ------------------------------------------------------------------
     # Client surface
@@ -275,12 +329,101 @@ class QueryService:
             snapshot["cache_misses"] = info["misses"]
         return snapshot
 
+    def snapshot(self) -> ServiceSnapshot:
+        """Structured service state for harnesses and dashboards.
+
+        The typed sibling of :meth:`stats`: queue depth, in-flight count,
+        cache hit rate and the shed/coalesced counters as one frozen
+        :class:`ServiceSnapshot`, so callers never scrape the Prometheus
+        text exposition for state they can read directly.
+        """
+        with self._lock:
+            c = dict(self._counters)
+        cache_info = self._cache.info() if self._cache is not None else None
+        hits = c["cache_hits"]
+        misses = cache_info["misses"] if cache_info is not None else 0
+        lookups = hits + misses
+        resolved = (
+            c["ok"]
+            + c["degraded"]
+            + c["overloaded"]
+            + c["deadline_exceeded"]
+            + c["failed"]
+        )
+        return ServiceSnapshot(
+            queue_depth=len(self._queue),
+            queue_capacity=self.config.max_queue,
+            in_flight=max(c["submitted"] - resolved, 0),
+            submitted=c["submitted"],
+            executed=c["executed"],
+            ok=c["ok"],
+            degraded=c["degraded"],
+            overloaded=c["overloaded"],
+            deadline_exceeded=c["deadline_exceeded"],
+            failed=c["failed"],
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_entries=(
+                cache_info["currsize"] if cache_info is not None else 0
+            ),
+            cache_hit_rate=hits / lookups if lookups else 0.0,
+            deduplicated=c["deduplicated"],
+            batches=c["batches"],
+            coalesced_batches=c["coalesced_batches"],
+            max_batch_size=c["max_batch_size"],
+        )
+
+    @property
+    def clock(self):
+        """The service's time source (injected, or ``time.monotonic``)."""
+        return self._clock
+
+    @property
+    def manual(self) -> bool:
+        """True when the service has no scheduler thread (``manual=True``)."""
+        return self._manual
+
+    def pump(self) -> int:
+        """Drain and process one micro-batch synchronously (manual mode).
+
+        Only meaningful on a service built with ``manual=True`` (no
+        scheduler thread): the caller owns the batch-window policy — it
+        decides *when* a drain is due on its own (possibly virtual)
+        timeline and then calls ``pump`` to execute up to ``max_batch``
+        queued requests on the calling thread.  Returns the number of
+        requests drained (0 when the queue was empty).
+        """
+        if not self._manual:
+            raise ServiceError(
+                "pump() requires a manual-scheduling service "
+                "(QueryService(..., manual=True))"
+            )
+        batch = self._queue.drain(self.config.max_batch)
+        if not batch:
+            return 0
+        try:
+            self._process(batch)
+        except BaseException as exc:  # pragma: no cover - last resort
+            self._fail_batch(batch, exc)
+        return len(batch)
+
     def close(self, *, timeout: float = 30.0) -> None:
         """Stop accepting requests, drain the queue, join the scheduler.
 
         Every request admitted before ``close`` still gets its response.
-        Idempotent; also invoked by the context-manager exit.
+        Idempotent; also invoked by the context-manager exit.  On a
+        manual-scheduling service there is no scheduler thread to join;
+        the remaining queue is pumped dry on the calling thread instead.
         """
+        if self._manual:
+            already_closed = self._closing.is_set()
+            self._closing.set()
+            if not already_closed:
+                while self.pump():
+                    pass
+                self._queue.close()
+                self._flush_metrics()
+            return
         if self._closing.is_set():
             self._scheduler.join(timeout=timeout)
             return
@@ -410,6 +553,16 @@ class QueryService:
             )
         )
 
+    def _advance_clock(self, seconds: float) -> None:
+        """Move an advanceable (virtual) clock by modelled service time.
+
+        A real ``time.monotonic`` clock has no ``advance`` — the call is
+        then a no-op and wall time keeps flowing on its own.
+        """
+        advance = getattr(self._clock, "advance", None)
+        if advance is not None and seconds > 0:
+            advance(seconds)
+
     def _resolve_degraded(self, pending: _Pending) -> None:
         started = self._clock()
         try:
@@ -419,6 +572,10 @@ class QueryService:
         except Exception as exc:
             self._resolve_failed(pending, exc, started)
             return
+        if self._cost_model is not None:
+            self._advance_clock(
+                self._cost_model.degraded_seconds(pending.request)
+            )
         self._count("degraded")
         if self._obs is not None:
             self._obs.record_query(stats)
@@ -485,6 +642,14 @@ class QueryService:
             integrator_factory=factory,
             return_errors=True,
         )
+        if self._cost_model is not None:
+            # Deterministic virtual accounting: the batch costs what the
+            # model says, not what this machine's wall clock measured.
+            self._advance_clock(
+                self._cost_model.batch_seconds(
+                    [self._cost_model.query_seconds(p.request) for p in leaders]
+                )
+            )
         finished = self._clock()
         self._count("executed", len(leaders))
         per_query = (finished - started) / len(leaders)
@@ -492,7 +657,14 @@ class QueryService:
             for pending in groups[leader.request.fingerprint]:
                 self._resolve_executed(pending, result, started, len(full))
             if not result.failed:
-                self._cost.observe(max(result.stats.total_seconds, per_query))
+                if self._cost_model is not None:
+                    self._cost.observe(
+                        self._cost_model.query_seconds(leader.request)
+                    )
+                else:
+                    self._cost.observe(
+                        max(result.stats.total_seconds, per_query)
+                    )
 
     def _resolve_executed(
         self,

@@ -143,6 +143,68 @@ def test_monitoring_doc_covers_the_wire_vocabulary():
 
 @pytest.mark.parametrize(
     "name",
+    sorted(__import__("repro.load", fromlist=["__all__"]).__all__),
+)
+def test_load_export_is_documented(name):
+    """Every ``repro.load.__all__`` name must appear in the docs."""
+    import repro.load
+
+    assert hasattr(repro.load, name), (
+        f"repro.load.__all__ lists missing name {name!r}"
+    )
+    api = (DOCS / "api.md").read_text()
+    load_doc = (DOCS / "load.md").read_text()
+    assert name in api or name in load_doc, (
+        f"repro.load.{name} is exported but appears in neither docs/api.md "
+        f"nor docs/load.md — document it (or stop exporting it)"
+    )
+
+
+def test_load_doc_cross_links():
+    """The load-harness contract must stay linked from the doc hub pages."""
+    load_doc = DOCS / "load.md"
+    assert load_doc.is_file(), "docs/load.md is missing"
+    for hub in ("api.md", "architecture.md", "serving.md"):
+        text = (DOCS / hub).read_text()
+        assert "load.md" in text, f"docs/{hub} lost its load-harness link"
+    readme = (DOCS.parent / "README.md").read_text()
+    assert "load.md" in readme, "README lost its load-harness link"
+
+
+def test_load_doc_covers_the_report_vocabulary():
+    """The contract page must spell out the capacity-report fields and the
+    five-status response vocabulary the harness aggregates — these are the
+    ``BENCH_capacity.json`` wire format CI trend-gates."""
+    load_doc = (DOCS / "load.md").read_text()
+    for field in (
+        "offered_qps",
+        "goodput_qps",
+        "shed_rate",
+        "degraded_rate",
+        "deadline_exceeded_rate",
+        "latency_ms",
+        "knee_qps",
+        "capacity_qps",
+        "schema_version",
+    ):
+        assert f"`{field}`" in load_doc, (
+            f"docs/load.md never mentions report field `{field}`"
+        )
+    for status in ("ok", "degraded", "overloaded", "deadline_exceeded",
+                   "failed"):
+        assert f"`{status}`" in load_doc, (
+            f"docs/load.md never mentions response status `{status}`"
+        )
+    assert "coordinated omission" in load_doc, (
+        "docs/load.md lost the open-loop/coordinated-omission rationale"
+    )
+    assert "BENCH_capacity.json" in load_doc, (
+        "docs/load.md lost the BENCH_capacity.json artifact contract"
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
     sorted(__import__("repro.shard", fromlist=["__all__"]).__all__),
 )
 def test_shard_export_is_documented(name):

@@ -1,0 +1,643 @@
+"""The open-loop load harness: scenarios, virtual runs, sweeps, gates.
+
+Covers the ``repro.load`` contract (``docs/load.md``):
+
+- scenario specs validate eagerly and round-trip through JSON;
+- schedules are pure functions of ``(seed, rate, duration, salt)`` and
+  are drawn up front (the open-loop property);
+- virtual-time sweeps are bit-reproducible — two runs of the same spec
+  serialize to byte-identical ``BENCH_capacity.json``;
+- the service under sustained overload keeps its promises: every
+  response is one of the five typed statuses (never an exception),
+  priority requests drain first, and goodput plateaus past the knee
+  instead of collapsing;
+- knee detection and the capacity trend gate catch regressions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.database import SpatialDatabase
+from repro.errors import LoadError, OverloadedError
+from repro.gaussian.distribution import Gaussian
+from repro.load import (
+    SCENARIOS,
+    Arrival,
+    CapacityReport,
+    LoadRunner,
+    OP_QUERY,
+    OP_UPDATE,
+    RunReport,
+    SaturationSweep,
+    ScenarioSpec,
+    ScenarioWorkload,
+    VirtualClock,
+    VirtualCostModel,
+    detect_knee,
+)
+from repro.serve import (
+    PRQRequest,
+    QueryService,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+)
+
+FIVE_STATUSES = {
+    STATUS_OK,
+    STATUS_DEGRADED,
+    STATUS_OVERLOADED,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_FAILED,
+}
+
+
+@pytest.fixture(scope="module")
+def database() -> SpatialDatabase:
+    rng = np.random.default_rng(11)
+    return SpatialDatabase(rng.random((400, 2)) * 100.0)
+
+
+def small_cost_model(**overrides) -> VirtualCostModel:
+    knobs = dict(
+        seconds_per_query=0.004,
+        batch_overhead=0.0005,
+        parallelism=2.0,
+    )
+    knobs.update(overrides)
+    return VirtualCostModel(**knobs)
+
+
+def virtual_service(database, **knobs) -> QueryService:
+    knobs.setdefault("clock", VirtualClock())
+    knobs.setdefault("manual", True)
+    knobs.setdefault("cost_model", small_cost_model())
+    return QueryService(database, **knobs)
+
+
+# ----------------------------------------------------------------------
+# ScenarioSpec
+# ----------------------------------------------------------------------
+
+
+class TestScenarioSpec:
+    def test_round_trips_through_dict(self):
+        spec = SCENARIOS["mixed"]
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        # And through actual JSON text, the CLI path.
+        again = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(LoadError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict({"name": "x", "rate": 100})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"n_shapes": 0},
+            {"zipf_s": -1.0},
+            {"kind_mix": {}},
+            {"kind_mix": {"warp": 1.0}},
+            {"kind_mix": {"prq": -1.0}},
+            {"kind_mix": {"prq": 0.0}},
+            {"deadline_fraction": 1.5},
+            {"monitor_fraction": -0.1},
+            {"thetas": (0.0, 0.5)},
+            {"thetas": ()},
+            {"monitor_fraction": 0.5, "n_subscriptions": 0},
+        ],
+    )
+    def test_validates_eagerly(self, bad):
+        with pytest.raises(LoadError):
+            ScenarioSpec(**bad)
+
+    def test_builtin_scenarios_are_valid_and_named(self):
+        for name, spec in SCENARIOS.items():
+            assert spec.name == name
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_needs_target_table_tracks_uncertain_weight(self):
+        assert not SCENARIOS["hotkey"].needs_target_table
+        assert SCENARIOS["mixed"].needs_target_table
+
+
+# ----------------------------------------------------------------------
+# ScenarioWorkload + schedules
+# ----------------------------------------------------------------------
+
+
+class TestScenarioWorkload:
+    def test_schedule_is_deterministic(self, database):
+        workload = ScenarioWorkload(SCENARIOS["hotkey"], database)
+        first = workload.schedule(200.0, 1.0, salt=3)
+        second = workload.schedule(200.0, 1.0, salt=3)
+        assert len(first) == len(second) > 0
+        for a, b in zip(first, second):
+            assert a.at == b.at
+            assert a.op == b.op
+            if a.op == OP_QUERY:
+                assert a.request.fingerprint == b.request.fingerprint
+                assert a.request.deadline == b.request.deadline
+                assert a.request.priority == b.request.priority
+
+    def test_salt_and_rate_change_the_draw(self, database):
+        workload = ScenarioWorkload(SCENARIOS["hotkey"], database)
+        base = workload.schedule(200.0, 1.0, salt=0)
+        other_salt = workload.schedule(200.0, 1.0, salt=1)
+        assert [a.at for a in base] != [a.at for a in other_salt]
+        faster = workload.schedule(400.0, 1.0, salt=0)
+        assert len(faster) > len(base)
+
+    def test_schedule_is_open_loop(self, database):
+        """Timestamps are fixed up front, sorted, and inside [0, dur)."""
+        workload = ScenarioWorkload(SCENARIOS["uniform"], database)
+        schedule = workload.schedule(300.0, 2.0, salt=0)
+        times = [a.at for a in schedule]
+        assert times == sorted(times)
+        assert all(0.0 < t < 2.0 for t in times)
+        # Poisson at 300/s over 2s: ~600 arrivals, loosely checked.
+        assert 450 <= len(schedule) <= 750
+
+    def test_zipf_skew_concentrates_popularity(self, database):
+        spec = ScenarioSpec(name="skew", n_shapes=32, zipf_s=1.5)
+        workload = ScenarioWorkload(spec, database)
+        schedule = workload.schedule(500.0, 2.0, salt=0)
+        counts: dict[bytes, int] = {}
+        for arrival in schedule:
+            key = arrival.request.fingerprint
+            counts[key] = counts.get(key, 0) + 1
+        top = max(counts.values())
+        assert top / len(schedule) > 3.0 / 32.0  # far above uniform share
+
+    def test_monitor_storm_mixes_updates(self, database):
+        schedule = ScenarioWorkload(SCENARIOS["storm"], database).schedule(
+            400.0, 1.0, salt=0
+        )
+        updates = [a for a in schedule if a.op == OP_UPDATE]
+        queries = [a for a in schedule if a.op == OP_QUERY]
+        assert len(updates) > len(queries)  # monitor_fraction = 0.7
+        dim = database.dim
+        for update in updates:
+            assert update.subscription_id is not None
+            assert update.mean.shape == (dim,)
+
+    def test_uncertain_mix_requires_target_table(self, database):
+        spec = ScenarioSpec(name="u", kind_mix={"uncertain": 1.0})
+        with pytest.raises(LoadError, match="target covariance table"):
+            ScenarioWorkload(spec, database)
+        prepared = ScenarioWorkload.prepare_database(spec, database)
+        assert prepared.targets is not None
+        workload = ScenarioWorkload(spec, prepared)
+        assert workload.kind_histogram() == {"uncertain": spec.n_shapes}
+
+    def test_prepare_database_is_a_noop_without_uncertain(self, database):
+        assert (
+            ScenarioWorkload.prepare_database(SCENARIOS["hotkey"], database)
+            is database
+        )
+
+    def test_schedule_validates_inputs(self, database):
+        workload = ScenarioWorkload(SCENARIOS["uniform"], database)
+        with pytest.raises(LoadError):
+            workload.schedule(0.0, 1.0)
+        with pytest.raises(LoadError):
+            workload.schedule(100.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# VirtualClock + VirtualCostModel
+# ----------------------------------------------------------------------
+
+
+class TestVirtualTime:
+    def test_clock_advances_monotonically(self):
+        clock = VirtualClock(10.0)
+        assert clock() == 10.0
+        clock.advance(1.5)
+        assert clock() == 11.5
+        clock.advance_to(11.0)  # never rewinds
+        assert clock() == 11.5
+        with pytest.raises(LoadError):
+            clock.advance(-0.1)
+
+    def test_cost_model_batch_law(self):
+        model = VirtualCostModel(
+            seconds_per_query=0.01, batch_overhead=0.001, parallelism=4.0
+        )
+        request = PRQRequest(Gaussian([0.0, 0.0], np.eye(2)), 1.0, 0.5)
+        assert model.query_seconds(request) == 0.01
+        assert model.degraded_seconds(request) == pytest.approx(0.0025)
+        costs = [model.query_seconds(request)] * 8
+        assert model.batch_seconds(costs) == pytest.approx(0.001 + 0.08 / 4)
+        assert model.batch_seconds([]) == 0.0
+        # Batching 8 must beat 8 singles (the whole point of coalescing).
+        assert model.batch_seconds(costs) < 8 * model.batch_seconds(costs[:1])
+
+    def test_cost_model_validates(self):
+        with pytest.raises(LoadError):
+            VirtualCostModel(seconds_per_query=0.0)
+        with pytest.raises(LoadError):
+            VirtualCostModel(parallelism=0.5)
+        with pytest.raises(LoadError):
+            VirtualCostModel(degraded_ratio=1.5)
+
+    def test_runner_rejects_manual_service_without_advanceable_clock(
+        self, database
+    ):
+        service = QueryService(
+            database, manual=True, clock=lambda: 0.0, max_queue=4
+        )
+        try:
+            with pytest.raises(LoadError, match="advanceable clock"):
+                LoadRunner(service)
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Virtual runs: determinism and the service contract under load
+# ----------------------------------------------------------------------
+
+
+class TestVirtualRuns:
+    def run_once(self, database, spec, rate, **knobs) -> RunReport:
+        sweep = SaturationSweep(
+            database,
+            spec,
+            rates=[rate],
+            duration=1.0,
+            cost_model=small_cost_model(),
+            service_knobs=dict(
+                {"max_queue": 32, "max_batch": 8, "batch_window": 0.002,
+                 "cache_size": 64},
+                **knobs,
+            ),
+        )
+        return sweep.run_step(rate)
+
+    def test_run_is_bit_reproducible(self, database):
+        spec = SCENARIOS["storm"]
+        first = self.run_once(database, spec, 400.0)
+        second = self.run_once(database, spec, 400.0)
+        assert first.to_dict() == second.to_dict()
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+    def test_overload_responses_are_typed_never_raised(self, database):
+        """Sustained 4x overload: every injected request resolves to one
+        of the five statuses; nothing raises, nothing hangs."""
+        spec = ScenarioSpec(name="flood", n_shapes=128, zipf_s=0.0)
+        report = self.run_once(database, spec, 2000.0, cache_size=0)
+        assert set(report.statuses) == FIVE_STATUSES
+        assert sum(report.statuses.values()) == report.injected
+        assert report.statuses[STATUS_OVERLOADED] > 0  # it really shed
+        assert report.statuses[STATUS_FAILED] == 0
+        assert report.shed_rate > 0.2
+
+    def test_goodput_plateaus_past_the_knee(self, database):
+        """Past saturation, goodput must hold its plateau (bounded queue
+        + typed shedding), not collapse with offered load."""
+        spec = ScenarioSpec(name="plateau", n_shapes=256, zipf_s=0.0)
+        sweep = SaturationSweep(
+            database,
+            spec,
+            rates=[200.0, 400.0, 800.0, 1600.0],
+            duration=1.5,
+            cost_model=small_cost_model(),
+            service_knobs={"max_queue": 64, "max_batch": 8,
+                           "batch_window": 0.002, "cache_size": 0},
+        )
+        report = sweep.run()
+        assert report.knee["saturated"]
+        knee = report.knee["knee_qps"]
+        capacity = report.knee["capacity_qps"]
+        past_knee = [
+            step["goodput_qps"]
+            for step in report.steps
+            if step["offered_qps"] > knee
+        ]
+        assert past_knee, "sweep never crossed its own knee"
+        assert min(past_knee) >= 0.7 * capacity
+
+    def test_priority_drains_first_under_overload(self, database):
+        """With the queue backed up, pump() must execute high-priority
+        requests before priority-0 ones admitted earlier."""
+        service = virtual_service(
+            database, max_queue=16, max_batch=4, batch_window=0.0,
+            cache_size=0,
+        )
+        try:
+            rng = np.random.default_rng(5)
+            futures = {}
+            for index in range(8):
+                priority = 1 if index >= 4 else 0  # low admitted first
+                center = rng.random(2) * 100.0
+                request = PRQRequest(
+                    Gaussian(center, np.eye(2)), 5.0, 0.5,
+                    priority=priority, request_id=f"p{priority}-{index}",
+                )
+                futures[request.request_id] = service.submit(request)
+            assert service.snapshot().queue_depth == 8
+            service.pump()  # drains max_batch = 4
+            done = {rid for rid, fut in futures.items() if fut.done()}
+            assert done == {"p1-4", "p1-5", "p1-6", "p1-7"}
+            service.pump()
+            assert all(fut.done() for fut in futures.values())
+        finally:
+            service.close()
+
+    def test_admission_shed_is_immediate_and_typed(self, database):
+        service = virtual_service(database, max_queue=2, max_batch=2,
+                                  batch_window=0.0, cache_size=0)
+        try:
+            rng = np.random.default_rng(9)
+            responses = []
+            for index in range(5):
+                request = PRQRequest(
+                    Gaussian(rng.random(2) * 100.0, np.eye(2)), 5.0, 0.5,
+                    request_id=index,
+                )
+                future = service.submit(request)
+                if future.done():
+                    responses.append(future.result())
+            # Queue bound 2: requests 2..4 shed instantly with the typed
+            # error, before any execution happened.
+            assert [r.status for r in responses] == [STATUS_OVERLOADED] * 3
+            assert all(isinstance(r.error, OverloadedError)
+                       for r in responses)
+            assert service.snapshot().overloaded == 3
+        finally:
+            service.close()
+
+    def test_deadline_pressure_degrades_or_expires(self, database):
+        spec = ScenarioSpec(
+            name="deadlines", n_shapes=64, zipf_s=0.0,
+            deadline_fraction=1.0, deadline_ms=(1.0, 4.0),
+        )
+        report = self.run_once(database, spec, 800.0, cache_size=0)
+        pressured = (
+            report.statuses[STATUS_DEGRADED]
+            + report.statuses[STATUS_DEADLINE_EXCEEDED]
+        )
+        assert pressured > 0
+        assert report.degraded_rate + report.deadline_exceeded_rate > 0
+
+    def test_monitor_updates_flow_through_the_run(self, database):
+        report = self.run_once(database, SCENARIOS["storm"], 300.0)
+        assert report.monitor_updates > 0
+        assert sum(report.monitor["outcomes"].values()) == report.monitor_updates
+        assert report.monitor["mean_ms"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Snapshots (satellite: structured stats APIs)
+# ----------------------------------------------------------------------
+
+
+class TestSnapshots:
+    def test_service_snapshot_tracks_queue_and_cache(self, database):
+        service = virtual_service(database, max_queue=8, max_batch=8,
+                                  batch_window=0.0, cache_size=16)
+        try:
+            request = PRQRequest(
+                Gaussian([50.0, 50.0], np.eye(2)), 5.0, 0.5
+            )
+            service.submit(request)
+            snap = service.snapshot()
+            assert snap.queue_depth == 1
+            assert snap.in_flight == 1
+            assert snap.queue_capacity == 8
+            service.pump()
+            service.submit(request)  # identical → cache hit
+            snap = service.snapshot()
+            assert snap.queue_depth == 0
+            assert snap.in_flight == 0
+            assert snap.submitted == 2
+            assert snap.ok == 2
+            assert snap.cache_hits == 1
+            assert snap.cache_entries == 1
+            assert 0.0 < snap.cache_hit_rate <= 0.5
+            payload = snap.to_dict()
+            assert payload["queue_depth"] == 0
+            assert json.dumps(payload, sort_keys=True)
+        finally:
+            service.close()
+
+    def test_monitor_snapshot_tracks_outcomes(self, database):
+        service = virtual_service(database)
+        try:
+            gaussian = Gaussian([50.0, 50.0], np.eye(2))
+            service.monitor.subscribe(gaussian, 5.0, 0.5,
+                                      subscription_id="s1")
+            service.monitor.update("s1", [50.001, 50.001])
+            snap = service.monitor.snapshot()
+            assert snap.active_subscriptions == 1
+            assert snap.subscribed == 1
+            assert snap.updates == 1
+            assert (
+                snap.survived + snap.reintegrated + snap.replanned
+                + snap.degraded
+            ) == 1
+            assert 0.0 <= snap.survival_rate <= 1.0
+            service.monitor.unsubscribe("s1")
+            assert service.monitor.snapshot().active_subscriptions == 0
+            assert json.dumps(snap.to_dict(), sort_keys=True)
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Sweeps, knee detection, capacity reports
+# ----------------------------------------------------------------------
+
+
+def synthetic_step(rate: float, shed: float, goodput: float) -> dict:
+    return {
+        "offered_qps": rate,
+        "shed_rate": shed,
+        "goodput_qps": goodput,
+        "latency_ms": {"p50": 5.0, "p95": 9.0, "p99": 12.0},
+    }
+
+
+class TestKneeDetection:
+    def test_interpolates_the_crossing(self):
+        steps = [
+            synthetic_step(100.0, 0.0, 100.0),
+            synthetic_step(200.0, 0.0, 200.0),
+            synthetic_step(400.0, 0.05, 390.0),
+        ]
+        knee = detect_knee(steps, shed_threshold=0.01)
+        assert knee["saturated"]
+        # Crossing 0.01 on the way from 0.0 @200 to 0.05 @400.
+        assert knee["knee_qps"] == pytest.approx(240.0)
+        assert knee["capacity_qps"] == pytest.approx(390.0)
+
+    def test_knee_at_the_first_step(self):
+        steps = [synthetic_step(500.0, 0.4, 300.0)]
+        knee = detect_knee(steps)
+        assert knee["saturated"] and knee["knee_qps"] == 500.0
+
+    def test_no_knee_when_never_saturated(self):
+        steps = [
+            synthetic_step(100.0, 0.0, 99.0),
+            synthetic_step(200.0, 0.001, 198.0),
+        ]
+        knee = detect_knee(steps)
+        assert not knee["saturated"]
+        assert knee["knee_qps"] is None
+        assert knee["capacity_qps"] == pytest.approx(198.0)
+
+    def test_rejects_empty_sweeps(self):
+        with pytest.raises(LoadError):
+            detect_knee([])
+
+
+class TestSaturationSweep:
+    def test_sweep_is_bit_reproducible(self, database, tmp_path):
+        def run() -> CapacityReport:
+            return SaturationSweep(
+                database,
+                SCENARIOS["hotkey"],
+                rates=[200.0, 400.0, 800.0],
+                duration=1.0,
+                cost_model=small_cost_model(),
+                service_knobs={"max_queue": 32, "max_batch": 8,
+                               "batch_window": 0.002, "cache_size": 64},
+            ).run()
+
+        first, second = run(), run()
+        assert first.to_json() == second.to_json()
+        path = first.write(tmp_path / "BENCH_capacity.json")
+        assert CapacityReport.load(path).to_json() == first.to_json()
+
+    def test_sweep_validates_rates(self, database):
+        spec = SCENARIOS["uniform"]
+        with pytest.raises(LoadError):
+            SaturationSweep(database, spec, rates=[])
+        with pytest.raises(LoadError):
+            SaturationSweep(database, spec, rates=[200.0, 100.0])
+        with pytest.raises(LoadError):
+            SaturationSweep(database, spec, rates=[-5.0])
+
+    def test_report_carries_context(self, database):
+        report = SaturationSweep(
+            database, SCENARIOS["uniform"], rates=[150.0], duration=0.5,
+            cost_model=small_cost_model(),
+        ).run()
+        assert report.mode == "virtual"
+        assert report.database == {"points": 400, "dim": 2}
+        assert report.scenario["name"] == "uniform"
+        assert report.cost_model["seconds_per_query"] == 0.004
+        assert len(report.steps) == 1
+
+
+class TestTrendGate:
+    def baseline(self) -> CapacityReport:
+        return CapacityReport(
+            scenario={"name": "x"},
+            mode="virtual",
+            duration_seconds=1.0,
+            database={},
+            service={},
+            cost_model=None,
+            steps=[synthetic_step(400.0, 0.0, 400.0),
+                   synthetic_step(800.0, 0.3, 500.0)],
+            knee={"saturated": True, "knee_qps": 600.0,
+                  "capacity_qps": 500.0},
+        )
+
+    def with_capacity(self, capacity: float, knee: float) -> CapacityReport:
+        report = self.baseline()
+        return CapacityReport(
+            scenario=report.scenario, mode=report.mode,
+            duration_seconds=1.0, database={}, service={}, cost_model=None,
+            steps=[synthetic_step(400.0, 0.0, 400.0),
+                   synthetic_step(800.0, 0.3, capacity)],
+            knee={"saturated": True, "knee_qps": knee,
+                  "capacity_qps": capacity},
+        )
+
+    def test_identical_reports_pass(self):
+        gate = self.baseline().compare(self.baseline())
+        assert gate.passed and not gate.regressions
+        assert {c["metric"] for c in gate.checks} >= {
+            "capacity_qps", "knee_qps"
+        }
+
+    def test_regression_beyond_tolerance_fails(self):
+        gate = self.with_capacity(350.0, 600.0).compare(
+            self.baseline(), tolerance=0.2
+        )
+        assert not gate.passed
+        assert "capacity_qps" in gate.regressions
+        assert "REGRESSED" in gate.summary()
+
+    def test_drop_within_tolerance_passes(self):
+        gate = self.with_capacity(450.0, 550.0).compare(
+            self.baseline(), tolerance=0.2
+        )
+        assert gate.passed
+
+    def test_improvement_is_surfaced_not_failed(self):
+        gate = self.with_capacity(900.0, 1000.0).compare(
+            self.baseline(), tolerance=0.2
+        )
+        assert gate.passed
+        assert "capacity_qps" in gate.improvements
+        assert "re-baselining" in gate.summary()
+
+    def test_mode_mismatch_is_a_usage_error(self):
+        real = CapacityReport(
+            scenario={}, mode="real", duration_seconds=1.0, database={},
+            service={}, cost_model=None,
+            steps=[synthetic_step(100.0, 0.0, 100.0)],
+            knee={"saturated": False, "knee_qps": None,
+                  "capacity_qps": 100.0},
+        )
+        with pytest.raises(LoadError, match="cannot compare"):
+            real.compare(self.baseline())
+
+    def test_report_load_rejects_garbage(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(LoadError, match="no capacity report"):
+            CapacityReport.load(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(LoadError, match="not JSON"):
+            CapacityReport.load(bad)
+        wrong_version = tmp_path / "version.json"
+        wrong_version.write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(LoadError, match="schema_version"):
+            CapacityReport.load(wrong_version)
+
+
+# ----------------------------------------------------------------------
+# Real-mode smoke (wall clock, threaded service)
+# ----------------------------------------------------------------------
+
+
+class TestRealMode:
+    def test_real_run_answers_everything(self, database):
+        spec = ScenarioSpec(name="real-smoke", n_shapes=16, zipf_s=1.0)
+        sweep = SaturationSweep(
+            database, spec, rates=[150.0], duration=0.4, virtual=False,
+            service_knobs={"max_queue": 64, "max_batch": 16,
+                           "batch_window": 0.001},
+        )
+        report = sweep.run_step(150.0)
+        assert report.mode == "real"
+        assert report.injected > 0
+        assert sum(report.statuses.values()) == report.injected
+        assert set(report.statuses) <= FIVE_STATUSES
+        assert report.statuses[STATUS_OK] > 0
+        assert report.latency_ms["p99"] >= report.latency_ms["p50"] >= 0.0
